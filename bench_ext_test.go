@@ -1,0 +1,361 @@
+package repro
+
+// Extension benches: features beyond the paper's own evaluation that its
+// text motivates — TAM architectures and test time (the dimension the
+// paper's TDV analysis deliberately excludes), and dynamic compaction
+// (mentioned in Section 3 as the alternative to the static compaction the
+// generator uses).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/bench89"
+	"repro/internal/bist"
+	"repro/internal/compress"
+	"repro/internal/diag"
+	"repro/internal/faults"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/tam"
+)
+
+// soc2CoreTests builds TAM core descriptions from SOC2's published profile,
+// with each core's scan cells split into four balanced internal chains.
+func soc2CoreTests() []tam.CoreTest {
+	var cores []tam.CoreTest
+	for _, m := range SOC2().Modules()[1:] {
+		c := tam.CoreTest{
+			Name:     m.Name,
+			Inputs:   m.Inputs,
+			Outputs:  m.Outputs,
+			Bidirs:   m.Bidirs,
+			Patterns: m.Patterns,
+		}
+		if m.ScanCells > 0 {
+			per := m.ScanCells / 4
+			rem := m.ScanCells - 3*per
+			c.Chains = []int{rem, per, per, per}
+		}
+		cores = append(cores, c)
+	}
+	return cores
+}
+
+// BenchmarkExtensionTAMArchitectures schedules SOC2's cores on the four
+// classic TAM architectures and reports makespan and idle volume — the
+// test-time dimension the paper's analysis excludes.
+func BenchmarkExtensionTAMArchitectures(b *testing.B) {
+	cores := soc2CoreTests()
+	render := func() string {
+		t := report.New("Extension: TAM architectures for SOC2's cores (W=16, 2 buses)",
+			"Architecture", "Makespan (cycles)", "Shifted bits", "Useful bits", "Idle bits")
+		for _, arch := range []tam.Architecture{tam.Multiplexing, tam.Daisychain, tam.TestBus, tam.Distribution} {
+			s, err := tam.BuildSchedule(arch, cores, 16, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			t.AddRow(arch.String(), report.Int(s.Makespan), report.Int(s.ShiftedBits),
+				report.Int(s.UsefulBits), report.Int(s.IdleBits()))
+		}
+		return t.String()
+	}
+	printHeaderOnce("ext-tam", render())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := tam.BuildSchedule(tam.Distribution, cores, 16, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Makespan <= 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+// BenchmarkExtensionWrapperWidthSweep sweeps the wrapper width of the
+// s5378-shaped core and reports test time and idle bits per width — the
+// wrapper design trade-off of the paper's reference [6].
+func BenchmarkExtensionWrapperWidthSweep(b *testing.B) {
+	core := soc2CoreTests()[1] // s5378
+	render := func() string {
+		t := report.New("Extension: wrapper width sweep for the s5378 profile (T=244)",
+			"W", "max si", "max so", "Test time", "Idle bits/pattern")
+		for _, w := range []int{1, 2, 4, 8, 16, 32} {
+			wc, err := tam.DesignWrapper(core, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			t.AddRow(fmt.Sprint(w), fmt.Sprint(wc.MaxIn()), fmt.Sprint(wc.MaxOut()),
+				report.Int(tam.TestTime(core, wc)), report.Int(wc.IdleBitsPerPattern()))
+		}
+		return t.String()
+	}
+	printHeaderOnce("ext-wrap", render())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tam.DesignWrapper(core, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDynamicCompaction compares static-only against
+// dynamic+static compaction on the s953 stand-in — the paper's Section 3
+// distinction between the two compaction styles, made measurable.
+func BenchmarkAblationDynamicCompaction(b *testing.B) {
+	prof, _ := bench89.ProfileByName("s953")
+	c := bench89.MustGenerate(prof)
+	static := atpg.Options{BacktrackLimit: 100, RandomPatterns: 0, Compact: true, Seed: 1}
+	dynamic := static
+	dynamic.DynamicCompact = true
+	dynamic.DynamicTargets = 24
+	render := func() string {
+		t := report.New("Ablation: static vs dynamic compaction (s953 stand-in)",
+			"Configuration", "Raw cubes", "Patterns", "Coverage")
+		for _, cfg := range []struct {
+			name string
+			o    atpg.Options
+		}{{"static only", static}, {"dynamic + static", dynamic}} {
+			r := atpg.Generate(c, cfg.o)
+			t.AddRow(cfg.name, fmt.Sprint(len(r.Cubes)), fmt.Sprint(r.PatternCount()),
+				fmt.Sprintf("%.1f%%", r.Coverage*100))
+		}
+		return t.String()
+	}
+	printHeaderOnce("abl-dyn", render())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := atpg.Generate(c, dynamic)
+		if r.PatternCount() == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}
+
+// BenchmarkExtensionPowerSessions runs power-constrained session
+// scheduling over SOC2's cores: test power is the first benefit of modular
+// testing the paper's introduction lists, and sessions are how the
+// scheduling literature it cites [17, 18] exploits it.
+func BenchmarkExtensionPowerSessions(b *testing.B) {
+	cores := soc2CoreTests()
+	var loads []power.CoreLoad
+	for _, c := range cores {
+		wc, err := tam.DesignWrapper(c, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loads = append(loads, power.CoreLoad{
+			Name:  c.Name,
+			Time:  tam.TestTime(c, wc),
+			Power: int64(c.ScanCells() + c.Inputs + c.Outputs), // toggling cells as the power proxy
+		})
+	}
+	render := func() string {
+		t := report.New("Extension: power-constrained session scheduling (SOC2, W=8 wrappers)",
+			"Power budget", "Sessions", "Total time", "vs serial")
+		serial := power.SerialTime(loads)
+		for _, budget := range []int64{400, 800, 1200, 2400} {
+			s, err := power.ScheduleSessions(loads, budget)
+			if err != nil {
+				t.AddRow(fmt.Sprint(budget), "infeasible", "", "")
+				continue
+			}
+			t.AddRow(fmt.Sprint(budget), fmt.Sprint(len(s.Sessions)),
+				report.Int(s.TotalTime),
+				fmt.Sprintf("%.0f%%", float64(s.TotalTime)/float64(serial)*100))
+		}
+		return t.String()
+	}
+	printHeaderOnce("ext-pow", render())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := power.ScheduleSessions(loads, 2400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionAbortOnFail orders SOC2's core tests for an
+// abort-on-first-fail flow (references [15, 16]): flaky-but-quick cores
+// first minimizes the expected tester occupancy.
+func BenchmarkExtensionAbortOnFail(b *testing.B) {
+	cores := soc2CoreTests()
+	var tests []sched.Test
+	for i, c := range cores {
+		wc, err := tam.DesignWrapper(c, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Failure probability proxy: larger cores fail more often.
+		tests = append(tests, sched.Test{
+			Name:     c.Name,
+			Time:     tam.TestTime(c, wc),
+			FailProb: 0.02 * float64(i+1),
+		})
+	}
+	opt, err := sched.Optimize(tests)
+	if err != nil {
+		b.Fatal(err)
+	}
+	render := func() string {
+		t := report.New("Extension: abort-on-fail ordering (SOC2, synthetic fail probabilities)",
+			"Order", "Expected time", "Serial time")
+		t.AddRow("as-listed", report.Int(int64(sched.ExpectedTime(tests))), report.Int(sched.SerialTime(tests)))
+		t.AddRow("optimized (t/p)", report.Int(int64(sched.ExpectedTime(opt))), report.Int(sched.SerialTime(opt)))
+		return t.String()
+	}
+	printHeaderOnce("ext-aof", render())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Optimize(tests); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionShiftPower profiles the WTC shift power of the ATPG
+// pattern sets of two stand-in cores — the raw data behind the power
+// budget knob above.
+func BenchmarkExtensionShiftPower(b *testing.B) {
+	render := func() string {
+		t := report.New("Extension: scan shift power (WTC) of generated pattern sets",
+			"Core", "Patterns", "Peak WTC", "Mean WTC")
+		for _, name := range []string{"s713", "s953"} {
+			prof, _ := bench89.ProfileByName(name)
+			c := bench89.MustGenerate(prof)
+			res := atpg.Generate(c, atpg.DefaultOptions())
+			p := power.Profiled(res.Patterns)
+			t.AddRow(name, fmt.Sprint(p.Patterns), report.Int(p.PeakWTC), fmt.Sprintf("%.0f", p.MeanWTC()))
+		}
+		return t.String()
+	}
+	printHeaderOnce("ext-wtc", render())
+	b.ResetTimer()
+	prof, _ := bench89.ProfileByName("s713")
+	c := bench89.MustGenerate(prof)
+	res := atpg.Generate(c, atpg.DefaultOptions())
+	for i := 0; i < b.N; i++ {
+		if power.Profiled(res.Patterns).Patterns == 0 {
+			b.Fatal("no profile")
+		}
+	}
+}
+
+// BenchmarkExtensionTDVReductionRoutes puts the paper's route to test data
+// volume reduction (modular testing) next to the two classic alternatives
+// on the same stand-in core: LFSR-reseeding compression and hybrid BIST.
+// The three attack different waste: modularity removes cross-core pattern
+// topping-off, compression removes don't-care bits within a vector, BIST
+// moves random-testable faults on chip entirely.
+func BenchmarkExtensionTDVReductionRoutes(b *testing.B) {
+	prof, _ := bench89.ProfileByName("s5378")
+	c := bench89.MustGenerate(prof)
+	frame := len(c.PseudoInputs())
+	render := func() string {
+		t := report.New("Extension: three TDV-reduction routes on the s5378 stand-in (stimulus side)",
+			"Route", "External stimulus bits", "Notes")
+
+		res := atpg.Generate(c, atpg.DefaultOptions())
+		baseline := int64(res.PatternCount() * frame)
+		t.AddRow("plain external ATPG", report.Int(baseline),
+			fmt.Sprintf("%d patterns x %d bits", res.PatternCount(), frame))
+
+		// Compression: encode the pre-fill cubes (their X bits are what
+		// reseeding exploits). Compaction competes for the same X bits —
+		// merged cubes carry too many care bits to encode — so reseeding
+		// starts from the uncompacted cube set and must be judged against
+		// that baseline.
+		raw := atpg.Generate(c, atpg.Options{BacktrackLimit: 100, RandomPatterns: 0, Compact: false, Seed: 1})
+		t.AddRow("uncompacted external", report.Int(int64(len(raw.Cubes)*frame)),
+			fmt.Sprintf("%d cubes (reseeding's own baseline)", len(raw.Cubes)))
+		enc, err := compress.NewEncoder(64, frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := enc.CompressSet(raw.Cubes)
+		t.AddRow("LFSR reseeding (64-bit seeds)", report.Int(st.SeedBits+st.FailedBits),
+			fmt.Sprintf("%d encoded, %d raw, %.1fx vs uncompacted", st.Encoded, st.Failed, st.StimulusReduction()))
+
+		bres, err := bist.Run(c, bist.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		t.AddRow("hybrid BIST (24-bit LFSR)", report.Int(int64(len(bres.TopUpPatterns)*frame)+24),
+			fmt.Sprintf("%d top-up patterns, random coverage %.1f%%", len(bres.TopUpPatterns), bres.RandomCoverage*100))
+
+		return t.String()
+	}
+	printHeaderOnce("ext-routes", render())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := compress.NewEncoder(32, frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if enc.Frame() != frame {
+			b.Fatal("encoder shape")
+		}
+	}
+}
+
+// BenchmarkExtensionDiagnosis exercises dictionary-based diagnosis on a
+// stand-in core: modular testing localizes a failure to one wrapped core,
+// so the dictionary is per-core and the injected fault ranks first.
+func BenchmarkExtensionDiagnosis(b *testing.B) {
+	prof, _ := bench89.ProfileByName("s713")
+	c := bench89.MustGenerate(prof)
+	flist := faults.CollapsedUniverse(c)
+	res := atpg.Generate(c, atpg.DefaultOptions())
+	d, err := diag.Build(c, res.Patterns, flist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	render := func() string {
+		// Diagnose every 50th fault, report resolution.
+		perfectTop, total := 0, 0
+		var avgCands float64
+		for fi := 0; fi < len(flist); fi += 50 {
+			obs, err := d.ObservationFor(flist[fi])
+			if err != nil || len(obs) == 0 {
+				continue
+			}
+			cands := d.Diagnose(obs)
+			if len(cands) == 0 {
+				continue
+			}
+			total++
+			if cands[0].Perfect() {
+				perfectTop++
+			}
+			n := 0
+			for _, cd := range cands {
+				if cd.Perfect() {
+					n++
+				}
+			}
+			avgCands += float64(n)
+		}
+		t := report.New("Extension: per-core fault diagnosis (s713 stand-in, ATPG pattern set)",
+			"Metric", "Value")
+		t.AddRow("dictionary faults", fmt.Sprint(d.NumFaults()))
+		t.AddRow("patterns", fmt.Sprint(len(res.Patterns)))
+		t.AddRow("sampled diagnoses", fmt.Sprint(total))
+		t.AddRow("perfect top candidate", fmt.Sprintf("%d/%d", perfectTop, total))
+		t.AddRow("avg indistinguishable set", fmt.Sprintf("%.1f", avgCands/float64(total)))
+		return t.String()
+	}
+	printHeaderOnce("ext-diag", render())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obs, err := d.ObservationFor(flist[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Diagnose(obs)) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}

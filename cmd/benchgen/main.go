@@ -1,0 +1,64 @@
+// Command benchgen emits the synthetic ISCAS'89 stand-in circuits in
+// .bench format, for use with atpgrun -f or external tools.
+//
+// Usage:
+//
+//	benchgen -name s953                 # standard stand-in to stdout
+//	benchgen -name s953 -seed 7         # alternative structure
+//	benchgen -i 20 -o 10 -ff 30 -gates 400 -name custom
+//	benchgen -list                      # available standard profiles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench89"
+	"repro/internal/netlist"
+)
+
+func main() {
+	var (
+		name  = flag.String("name", "", "standard profile name, or the circuit name with custom -i/-o/-ff/-gates")
+		seed  = flag.Int64("seed", 0, "override the structure seed (0 keeps the profile default)")
+		in    = flag.Int("i", 0, "custom: primary inputs")
+		out   = flag.Int("o", 0, "custom: primary outputs")
+		ff    = flag.Int("ff", 0, "custom: flip-flops")
+		gates = flag.Int("gates", 0, "custom: approximate gate count")
+		list  = flag.Bool("list", false, "list the standard profiles and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range bench89.StandardProfiles() {
+			fmt.Printf("%-8s I=%-3d O=%-3d FF=%-4d gates~%d\n", p.Name, p.Inputs, p.Outputs, p.DFFs, p.Gates)
+		}
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "benchgen: -name required; see -help")
+		os.Exit(2)
+	}
+
+	prof, ok := bench89.ProfileByName(*name)
+	if !ok {
+		if *in <= 0 || *out <= 0 || *gates <= 0 {
+			fmt.Fprintf(os.Stderr, "benchgen: %q is not a standard profile; custom profiles need -i, -o and -gates\n", *name)
+			os.Exit(2)
+		}
+		prof = bench89.Profile{Name: *name, Inputs: *in, Outputs: *out, DFFs: *ff, Gates: *gates, Seed: 1}
+	}
+	if *seed != 0 {
+		prof.Seed = *seed
+	}
+	c, err := bench89.Generate(prof)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := netlist.WriteBench(os.Stdout, c); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+// Command itc02x reproduces the paper's ITC'02 benchmark evaluation
+// (Section 5.2): Table 3 (the per-core p34392 computation) and Table 4
+// (the ten-SOC comparison).
+//
+// Usage:
+//
+//	itc02x                 # Table 3 and Table 4
+//	itc02x -soc d695       # detailed report for one benchmark
+//	itc02x -emit p34392    # dump a benchmark in the .soc text format
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/itc02"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		one  = flag.String("soc", "", "print the per-module detail of one benchmark SOC")
+		emit = flag.String("emit", "", "dump one benchmark SOC in the text format")
+	)
+	flag.Parse()
+
+	if *emit != "" {
+		s, err := itc02.SOCByName(*emit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "itc02x: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(itc02.SOCString(s))
+		return
+	}
+	if *one != "" {
+		s, err := itc02.SOCByName(*one)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "itc02x: %v\n", err)
+			os.Exit(1)
+		}
+		t := report.New(fmt.Sprintf("%s per-module TDV", s.Name),
+			"Module", "I", "O", "B", "S", "T", "TDV")
+		for _, m := range s.Modules() {
+			t.AddRow(m.Name, fmt.Sprint(m.Inputs), fmt.Sprint(m.Outputs),
+				fmt.Sprint(m.Bidirs), fmt.Sprint(m.ScanCells), fmt.Sprint(m.Patterns),
+				report.Int(m.ModularTDV()))
+		}
+		t.AddFooter("SOC", "", "", "", "", "", report.Int(s.TDVModular()))
+		fmt.Println(t.String())
+		r := s.Analyze()
+		fmt.Printf("TDV_mono_opt %s   penalty %s   benefit %s   change %s\n",
+			report.Int(r.TDVMonoOpt), report.Int(r.Penalty), report.Int(r.Benefit),
+			report.Pct(r.ReductionVsOpt))
+		return
+	}
+
+	fmt.Println(repro.RenderFigure3())
+	fmt.Println(repro.RenderTable3())
+	t4, err := repro.RenderTable4()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "itc02x: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(t4)
+}

@@ -1,0 +1,58 @@
+// Command socx runs the paper's SOC1/SOC2 experiments (Section 5.1,
+// Tables 1 and 2): by default in profile mode (the published ATALANTA
+// pattern counts), and with -live as a full end-to-end rerun — generate
+// stand-in cores, per-core ATPG, flatten the SOC with isolation ripped
+// out, monolithic ATPG, compare.
+//
+// Usage:
+//
+//	socx                     # Tables 1 and 2 from the published profiles
+//	socx -live -soc SOC1     # live experiment on SOC1
+//	socx -live -soc SOC2 -scale 0.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		live  = flag.Bool("live", false, "run the live ATPG experiment instead of the published profiles")
+		which = flag.String("soc", "both", "SOC1, SOC2 or both")
+		scale = flag.Float64("scale", 1.0, "gate-count scale for the live stand-ins, in (0,1]")
+		seed  = flag.Int64("seed", 1, "interconnect seed for the live flattening")
+	)
+	flag.Parse()
+
+	if !*live {
+		if *which == "SOC1" || *which == "both" {
+			fmt.Println(repro.RenderTable1())
+			fmt.Println(repro.RenderFigure4())
+		}
+		if *which == "SOC2" || *which == "both" {
+			fmt.Println(repro.RenderTable2())
+			fmt.Println(repro.RenderFigure5())
+		}
+		return
+	}
+
+	opts := repro.LiveOptions{GateScale: *scale, Seed: *seed}
+	run := func(name string, f func(repro.LiveOptions) (*repro.LiveResult, error)) {
+		r, err := f(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "socx: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(repro.RenderLive(r))
+	}
+	if *which == "SOC1" || *which == "both" {
+		run("SOC1", repro.LiveSOC1)
+	}
+	if *which == "SOC2" || *which == "both" {
+		run("SOC2", repro.LiveSOC2)
+	}
+}

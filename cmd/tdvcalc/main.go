@@ -1,0 +1,91 @@
+// Command tdvcalc computes the monolithic-vs-modular test data volume
+// comparison of Sinanoglu & Marinissen (DATE 2008) for an SOC description.
+//
+// Usage:
+//
+//	tdvcalc -f design.soc [-tmono N]
+//	tdvcalc -builtin p34392
+//
+// The input format is the line-oriented SOC description of internal/itc02
+// (run with -example to print a template). -builtin accepts any of the ten
+// ITC'02 Table 4 SOC names.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/itc02"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "SOC description file (- for stdin)")
+		builtin = flag.String("builtin", "", "built-in ITC'02 SOC name (e.g. p34392)")
+		tmono   = flag.Int("tmono", -1, "override the monolithic pattern count")
+		example = flag.Bool("example", false, "print an example SOC description and exit")
+	)
+	flag.Parse()
+
+	if *example {
+		fmt.Print(itc02.SOCString(itc02.P34392()))
+		return
+	}
+
+	var (
+		s   *core.SOC
+		err error
+	)
+	switch {
+	case *builtin != "":
+		s, err = itc02.SOCByName(*builtin)
+	case *file == "-":
+		s, err = itc02.ParseSOC(os.Stdin)
+	case *file != "":
+		var f *os.File
+		f, err = os.Open(*file)
+		if err == nil {
+			defer f.Close()
+			s, err = itc02.ParseSOC(f)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "tdvcalc: need -f <file> or -builtin <name>; see -help")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdvcalc: %v\n", err)
+		os.Exit(1)
+	}
+	if *tmono >= 0 {
+		s.TMono = *tmono
+	}
+
+	r := s.Analyze()
+	t := report.New("Per-module test data volume (Eq. 4/5)",
+		"Module", "I", "O", "B", "S", "T", "ISOCOST", "TDV")
+	for _, m := range s.Modules() {
+		t.AddRow(m.Name,
+			fmt.Sprint(m.Inputs), fmt.Sprint(m.Outputs), fmt.Sprint(m.Bidirs),
+			fmt.Sprint(m.ScanCells), fmt.Sprint(m.Patterns),
+			report.Int(m.ISOCost()), report.Int(m.ModularTDV()))
+	}
+	t.AddFooter("SOC (modular)", "", "", "", "", "", "", report.Int(r.TDVModular))
+	fmt.Println(t.String())
+
+	fmt.Printf("modules: %d (%d cores + top)    T_max: %d    norm stdev of T: %.2f\n",
+		r.NumModules, r.NumCores, r.TMax, r.NormStdev)
+	fmt.Printf("TDV_mono_opt (Eq. 3):  %s\n", report.Int(r.TDVMonoOpt))
+	if r.TDVMonoAct > 0 {
+		fmt.Printf("TDV_mono (Eq. 1):      %s  (T_mono = %d)\n", report.Int(r.TDVMonoAct), r.TMono)
+	}
+	fmt.Printf("TDV_penalty (Eq. 7):   %s (%s of mono_opt)\n", report.Int(r.Penalty), report.Pct(r.PenaltyPctVsOpt))
+	fmt.Printf("TDV_benefit (Eq. 8):   %s (%s of mono_opt)\n", report.Int(r.Benefit), report.Pct(-r.BenefitPctVsOpt))
+	fmt.Printf("modular vs mono_opt:   %s\n", report.Pct(r.ReductionVsOpt))
+	if r.RatioVsActual > 0 {
+		fmt.Printf("reduction ratio:       %s (pessimistic %s, pessimism factor %.1fx)\n",
+			report.Ratio(r.RatioVsActual), report.Ratio(r.RatioVsOpt), r.PessimismFactor)
+	}
+}

@@ -1,0 +1,73 @@
+// The paper's Section 5.2 evaluation: Table 4 over the ten ITC'02
+// benchmark SOCs, followed by the correlation the paper draws from it —
+// the TDV reduction of modular testing tracks the normalized standard
+// deviation of the per-core pattern counts, with g12710 (uniform counts,
+// modular loses) and a586710 (one extreme core, 99.3% reduction) as the
+// two ends.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	t4, err := repro.RenderTable4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t4)
+
+	rows, err := repro.Table4()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i].Computed.NormStdev < rows[j].Computed.NormStdev
+	})
+	fmt.Println("Correlation: normalized pattern-count deviation vs TDV change")
+	fmt.Println("(sorted by deviation; bar = modular TDV relative to monolithic-opt)")
+	for _, r := range rows {
+		c := r.Computed
+		bar := barFor(c.ReductionVsOpt)
+		fmt.Printf("  %-8s stdev %.2f  %+7.1f%%  %s\n", r.Name, c.NormStdev, c.ReductionVsOpt*100, bar)
+	}
+	fmt.Println()
+	fmt.Println("Extremes called out by the paper:")
+	for _, name := range []string{"g12710", "a586710"} {
+		for _, r := range rows {
+			if r.Name == name {
+				fmt.Printf("  %-8s %d cores, stdev %.2f -> %+.1f%%\n",
+					name, r.Computed.NumCores, r.Computed.NormStdev, r.Computed.ReductionVsOpt*100)
+			}
+		}
+	}
+}
+
+// barFor renders a signed bar: '#' blocks to the left of | for reductions,
+// to the right for increases, 2% per block.
+func barFor(change float64) string {
+	blocks := int(change * 50)
+	if blocks < 0 {
+		b := -blocks
+		if b > 50 {
+			b = 50
+		}
+		return fmt.Sprintf("%*s|", 50, bars(b))
+	}
+	if blocks > 25 {
+		blocks = 25
+	}
+	return fmt.Sprintf("%*s|%s", 50, "", bars(blocks))
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,159 @@
+package repro
+
+// Public surface for the extension subsystems (wrapper/TAM design, test
+// power, abort-on-fail scheduling, BIST, compression, diagnosis). The
+// substrates live under internal/; these aliases and constructors are the
+// supported entry points for downstream users.
+
+import (
+	"repro/internal/bist"
+	"repro/internal/compress"
+	"repro/internal/diag"
+	"repro/internal/faults"
+	"repro/internal/lfsr"
+	"repro/internal/logic"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/tam"
+)
+
+// Test cube values and cubes (stimulus/response vectors).
+type (
+	// LogicValue is a five-valued logic value (Zero, One, X, D, D̄).
+	LogicValue = logic.V
+	// Cube is a test cube: 0/1/X values over a circuit frame.
+	Cube = logic.Cube
+	// Fault is a single stuck-at fault.
+	Fault = faults.Fault
+)
+
+// ParseCube parses a "01X"-style string into a Cube.
+func ParseCube(s string) (Cube, bool) { return logic.ParseCube(s) }
+
+// Wrapper chain and TAM design (extension; see internal/tam).
+type (
+	// CoreTest describes a wrapped core's test resources for TAM design.
+	CoreTest = tam.CoreTest
+	// WrapperChains is a wrapper chain configuration.
+	WrapperChains = tam.WrapperChains
+	// TAMArchitecture selects Multiplexing, Distribution, Daisychain or
+	// TestBus.
+	TAMArchitecture = tam.Architecture
+	// TAMSchedule is a complete SOC test schedule on a TAM.
+	TAMSchedule = tam.Schedule
+)
+
+// TAM architecture constants.
+const (
+	Multiplexing = tam.Multiplexing
+	Distribution = tam.Distribution
+	Daisychain   = tam.Daisychain
+	TestBus      = tam.TestBus
+)
+
+// DesignWrapperChains partitions a core's scan chains and wrapper cells
+// over w wrapper chains, minimizing the scan depth (IEEE 1500-style
+// wrapper design).
+func DesignWrapperChains(c CoreTest, w int) (WrapperChains, error) {
+	return tam.DesignWrapper(c, w)
+}
+
+// CoreTestTime returns the scan test time of a core under a wrapper
+// configuration: (1 + max(si, so))·T + min(si, so).
+func CoreTestTime(c CoreTest, wc WrapperChains) int64 { return tam.TestTime(c, wc) }
+
+// BuildTAMSchedule schedules cores on a width-W TAM under the given
+// architecture (buses applies to TestBus only).
+func BuildTAMSchedule(arch TAMArchitecture, cores []CoreTest, width, buses int) (TAMSchedule, error) {
+	return tam.BuildSchedule(arch, cores, width, buses)
+}
+
+// Test power (extension; see internal/power).
+type (
+	// PowerProfile summarises the shift power of a pattern set.
+	PowerProfile = power.Profile
+	// PowerLoad is a core's (time, power) contribution to a schedule.
+	PowerLoad = power.CoreLoad
+	// PowerSchedule is a power-constrained session schedule.
+	PowerSchedule = power.SessionSchedule
+)
+
+// ShiftPowerProfile computes the weighted-transition-count profile of a
+// pattern set.
+func ShiftPowerProfile(patterns []Cube) PowerProfile { return power.Profiled(patterns) }
+
+// SchedulePowerSessions packs core tests into concurrent sessions under a
+// power budget.
+func SchedulePowerSessions(cores []PowerLoad, budget int64) (PowerSchedule, error) {
+	return power.ScheduleSessions(cores, budget)
+}
+
+// Abort-on-fail scheduling (extension; see internal/sched).
+type (
+	// ScheduledTest is one core test with duration and failure probability.
+	ScheduledTest = sched.Test
+)
+
+// OptimizeAbortOnFail returns the order minimizing the expected
+// abort-on-first-fail test time (t/p ascending; provably optimal).
+func OptimizeAbortOnFail(tests []ScheduledTest) ([]ScheduledTest, error) {
+	return sched.Optimize(tests)
+}
+
+// ExpectedAbortOnFailTime evaluates an order's expected test time.
+func ExpectedAbortOnFailTime(order []ScheduledTest) float64 { return sched.ExpectedTime(order) }
+
+// Hybrid BIST (extension; see internal/bist).
+type (
+	// BISTOptions configures a hybrid BIST run.
+	BISTOptions = bist.Options
+	// BISTResult reports coverage and external-data accounting.
+	BISTResult = bist.Result
+)
+
+// DefaultBISTOptions returns a 10k-pattern, 24-bit LFSR configuration.
+func DefaultBISTOptions() BISTOptions { return bist.DefaultOptions() }
+
+// RunHybridBIST runs the pseudo-random phase plus deterministic top-up on
+// a full-scan circuit.
+func RunHybridBIST(c *Circuit, opts BISTOptions) (*BISTResult, error) { return bist.Run(c, opts) }
+
+// LFSR-reseeding compression (extension; see internal/compress).
+type (
+	// ReseedingEncoder encodes test cubes as LFSR seeds.
+	ReseedingEncoder = compress.Encoder
+	// CompressionStats summarises a compressed cube set.
+	CompressionStats = compress.Stats
+)
+
+// NewReseedingEncoder returns an encoder with an n-bit primitive LFSR
+// (n ∈ {8, 16, 24, 32, 64}) expanding to frame scan positions.
+func NewReseedingEncoder(n, frame int) (*ReseedingEncoder, error) {
+	return compress.NewEncoder(n, frame)
+}
+
+// Fault diagnosis (extension; see internal/diag).
+type (
+	// DiagnosisDictionary maps faults to their failing behaviour.
+	DiagnosisDictionary = diag.Dictionary
+	// DiagnosisObservation is the tester's view of a failing device.
+	DiagnosisObservation = diag.Observation
+	// DiagnosisCandidate is one ranked diagnosis.
+	DiagnosisCandidate = diag.Candidate
+)
+
+// BuildDiagnosisDictionary builds the full-response dictionary of a
+// circuit over a pattern set and candidate fault list. Pass nil faults to
+// use the collapsed universe.
+func BuildDiagnosisDictionary(c *Circuit, patterns []Cube, flist []Fault) (*DiagnosisDictionary, error) {
+	if flist == nil {
+		flist = faults.CollapsedUniverse(c)
+	}
+	return diag.Build(c, patterns, flist)
+}
+
+// NewLFSR returns an n-bit maximal-length LFSR (n ∈ {8, 16, 24, 32, 64}).
+func NewLFSR(n int) (*lfsr.LFSR, error) { return lfsr.NewPrimitive(n) }
+
+// NewMISR returns an n-bit multiple-input signature register.
+func NewMISR(n int) (*lfsr.MISR, error) { return lfsr.NewMISR(n) }

@@ -1,0 +1,164 @@
+package repro
+
+import (
+	"testing"
+)
+
+func TestFacadeTAM(t *testing.T) {
+	core := CoreTest{Name: "c", Inputs: 8, Outputs: 6, Chains: []int{20, 20}, Patterns: 40}
+	wc, err := DesignWrapperChains(core, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CoreTestTime(core, wc) <= 0 {
+		t.Error("zero test time")
+	}
+	s, err := BuildTAMSchedule(Distribution, []CoreTest{core, {Name: "d", Inputs: 2, Outputs: 2, Patterns: 10}}, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan <= 0 || s.IdleBits() < 0 {
+		t.Errorf("schedule: %+v", s)
+	}
+	for _, arch := range []TAMArchitecture{Multiplexing, Distribution, Daisychain, TestBus} {
+		if arch.String() == "" {
+			t.Error("empty architecture name")
+		}
+	}
+}
+
+func TestFacadePowerAndSched(t *testing.T) {
+	cube, ok := ParseCube("0101")
+	if !ok {
+		t.Fatal("ParseCube failed")
+	}
+	p := ShiftPowerProfile([]Cube{cube})
+	if p.PeakWTC != 6 {
+		t.Errorf("peak WTC = %d, want 6", p.PeakWTC)
+	}
+	ps, err := SchedulePowerSessions([]PowerLoad{
+		{Name: "a", Time: 10, Power: 5},
+		{Name: "b", Time: 8, Power: 5},
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.TotalTime != 10 { // both fit one session
+		t.Errorf("total = %d, want 10", ps.TotalTime)
+	}
+	order, err := OptimizeAbortOnFail([]ScheduledTest{
+		{Name: "slow-safe", Time: 100, FailProb: 0.01},
+		{Name: "fast-flaky", Time: 5, FailProb: 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0].Name != "fast-flaky" {
+		t.Error("abort-on-fail order wrong")
+	}
+	if ExpectedAbortOnFailTime(order) >= 105 {
+		t.Error("expected time not below serial")
+	}
+}
+
+func TestFacadeBISTAndCompression(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+f1 = DFF(n)
+n = XOR(a, f1)
+y = AND(n, b)
+`
+	c, err := ParseBenchString("mini", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultBISTOptions()
+	opts.RandomPatterns = 512
+	res, err := RunHybridBIST(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalCoverage < 0.9 {
+		t.Errorf("BIST coverage %.3f", res.FinalCoverage)
+	}
+
+	enc, err := NewReseedingEncoder(16, len(c.PseudoInputs()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := make(Cube, len(c.PseudoInputs()))
+	for i := range cube {
+		cube[i] = LogicValue(2) // X
+	}
+	cube[0] = LogicValue(1) // One
+	seed, err := enc.Encode(cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enc.Decode(seed).Covers(cube) {
+		t.Error("decode does not cover cube")
+	}
+}
+
+func TestFacadeDiagnosisAndLFSR(t *testing.T) {
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"
+	c, err := ParseBenchString("and2", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := []Cube{mustCube(t, "11"), mustCube(t, "01"), mustCube(t, "10"), mustCube(t, "00")}
+	d, err := BuildDiagnosisDictionary(c, patterns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFaults() == 0 {
+		t.Fatal("no candidate faults")
+	}
+	// Inject the first fault's behaviour; it must diagnose perfectly.
+	obs, err := d.ObservationFor(mustFirstFault(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := d.Diagnose(obs)
+	if len(cands) == 0 || !cands[0].Perfect() {
+		t.Error("self-diagnosis failed")
+	}
+
+	l, err := NewLFSR(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Width() != 16 {
+		t.Error("LFSR width wrong")
+	}
+	m, err := NewMISR(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Absorb(mustCube(t, "1011"))
+	if m.Signature() == 0 {
+		t.Error("signature not perturbed")
+	}
+}
+
+func mustCube(t *testing.T, s string) Cube {
+	t.Helper()
+	c, ok := ParseCube(s)
+	if !ok {
+		t.Fatalf("bad cube %q", s)
+	}
+	return c
+}
+
+// mustFirstFault returns a fault guaranteed to survive equivalence
+// collapsing in the tiny AND circuit: the output stem SA1 is its own
+// class representative (only input SA0 faults collapse into the output).
+func mustFirstFault(t *testing.T, d *DiagnosisDictionary) Fault {
+	t.Helper()
+	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"
+	c, _ := ParseBenchString("and2", src)
+	y, _ := c.Lookup("y")
+	return Fault{Gate: y, Pin: -1, Stuck: LogicValue(1)}
+}

@@ -1,0 +1,397 @@
+package atpg
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/faultsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Options configures test generation.
+type Options struct {
+	// BacktrackLimit bounds the PODEM search per fault; a fault whose
+	// search exceeds it is reported Aborted.
+	BacktrackLimit int
+	// RandomPatterns is the number of random bootstrap patterns evaluated
+	// before deterministic generation (only those that detect new faults
+	// are kept). Zero disables the random phase.
+	RandomPatterns int
+	// Compact enables static test-cube merging and reverse-order pattern
+	// pruning.
+	Compact bool
+	// DynamicCompact integrates compaction into generation itself (the
+	// paper's "dynamic compaction"): after PODEM detects its primary
+	// target, up to DynamicTargets still-undetected faults are attempted
+	// as secondary targets on the same cube before it is committed.
+	DynamicCompact bool
+	// DynamicTargets bounds the secondary targets tried per cube
+	// (default 16 when DynamicCompact is set).
+	DynamicTargets int
+	// Passes retries faults aborted in earlier passes with a 10x larger
+	// backtrack limit per extra pass (1 or 0 = single pass). Escalating
+	// retries are how production ATPG converts aborts into detections or
+	// redundancy proofs without paying the big limit everywhere.
+	Passes int
+	// Seed drives the random phase and the X-fill, making runs
+	// reproducible.
+	Seed int64
+}
+
+// DefaultOptions returns the settings used by the paper-reproduction
+// experiments.
+func DefaultOptions() Options {
+	return Options{
+		BacktrackLimit: 100,
+		RandomPatterns: 64,
+		Compact:        true,
+		Seed:           1,
+	}
+}
+
+// Outcome records the generation verdict for one fault.
+type Outcome struct {
+	Fault  faults.Fault
+	Status Status
+}
+
+// Result is the output of test generation.
+type Result struct {
+	// Patterns is the final, fully specified pattern set (after
+	// compaction if enabled), over the PseudoInputs frame.
+	Patterns []logic.Cube
+	// Cubes is the raw generated cube list before compaction: kept random
+	// patterns followed by PODEM test cubes (with X bits).
+	Cubes []logic.Cube
+	// Outcomes lists the per-fault verdicts for faults targeted by PODEM.
+	// Faults dropped by fault simulation before being targeted do not
+	// appear; they are accounted for in NumDetected.
+	Outcomes []Outcome
+	// Fault accounting over the input fault list.
+	NumFaults    int
+	NumDetected  int
+	NumRedundant int
+	NumAborted   int
+	// Coverage is the final measured fault coverage of Patterns over the
+	// input fault list, in [0, 1].
+	Coverage float64
+	// EffectiveCoverage excludes proven-redundant faults from the
+	// denominator.
+	EffectiveCoverage float64
+}
+
+// PatternCount returns the number of final patterns — the T of the paper's
+// TDV formulas.
+func (r *Result) PatternCount() int { return len(r.Patterns) }
+
+// Generate runs test generation for the collapsed stuck-at universe of c.
+func Generate(c *netlist.Circuit, opts Options) *Result {
+	return GenerateForFaults(c, faults.CollapsedUniverse(c), opts)
+}
+
+// GenerateForFaults runs test generation for an explicit fault list.
+// Per-cone ATPG passes the cone-filtered fault list here.
+func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *Result {
+	if !c.Finalized() {
+		panic("atpg: circuit not finalized")
+	}
+	if opts.BacktrackLimit <= 0 {
+		opts.BacktrackLimit = 100
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &Result{NumFaults: len(flist)}
+	engine := faultsim.NewEngine(c, flist)
+	width := len(c.PseudoInputs())
+
+	var cubes []logic.Cube
+
+	// Phase 1: random bootstrap. Apply the whole budget, then keep only
+	// the patterns that are some fault's first detector — dropping the
+	// rest cannot lose any detection.
+	if opts.RandomPatterns > 0 && width > 0 {
+		randPats := make([]logic.Cube, opts.RandomPatterns)
+		for i := range randPats {
+			p := make(logic.Cube, width)
+			for j := range p {
+				p[j] = logic.FromBool(rng.Intn(2) == 1)
+			}
+			randPats[i] = p
+		}
+		engine.Apply(randPats)
+		useful := make(map[int]bool)
+		for _, d := range engine.Result().DetectedBy {
+			if d != faultsim.Undetected {
+				useful[d] = true
+			}
+		}
+		for i, p := range randPats {
+			if useful[i] {
+				cubes = append(cubes, p)
+			}
+		}
+	}
+
+	// Phase 2: deterministic PODEM with fault dropping.
+	engine = rebaseEngine(c, flist, cubes) // re-index detections onto kept patterns
+	pd := newPodem(c, opts.BacktrackLimit)
+	failed := make(map[faults.Fault]Status)
+	for {
+		var target *faults.Fault
+		for _, f := range engine.Remaining() {
+			if _, done := failed[f]; !done {
+				g := f
+				target = &g
+				break
+			}
+		}
+		if target == nil {
+			break
+		}
+		cube, status := pd.run(*target)
+		switch status {
+		case Detected:
+			if !faultsim.SerialDetects(c, padCube(cube, width), *target) {
+				// A cube that fails verification indicates a search bug;
+				// never silently accept it.
+				panic(fmt.Sprintf("atpg: generated cube %v does not detect %s", cube, target.String(c)))
+			}
+			if opts.DynamicCompact {
+				cube = extendCube(c, pd, engine, cube, *target, failed, opts, res)
+			}
+			cubes = append(cubes, cube)
+			engine.Apply([]logic.Cube{cube})
+			res.Outcomes = append(res.Outcomes, Outcome{*target, Detected})
+		case Redundant, Aborted:
+			failed[*target] = status
+			res.Outcomes = append(res.Outcomes, Outcome{*target, status})
+		}
+	}
+	// Phase 2b: escalation passes over the aborted faults.
+	limit := opts.BacktrackLimit
+	for pass := 2; pass <= opts.Passes; pass++ {
+		limit *= 10
+		retry := newPodem(c, limit)
+		var targets []faults.Fault
+		for f, st := range failed {
+			if st == Aborted {
+				targets = append(targets, f)
+			}
+		}
+		sortFaults(targets)
+		for _, f := range targets {
+			cube, status := retry.run(f)
+			switch status {
+			case Detected:
+				if !faultsim.SerialDetects(c, padCube(cube, width), f) {
+					panic(fmt.Sprintf("atpg: retry cube does not detect %s", f.String(c)))
+				}
+				delete(failed, f)
+				cubes = append(cubes, cube)
+				engine.Apply([]logic.Cube{cube})
+				res.Outcomes = append(res.Outcomes, Outcome{f, Detected})
+			case Redundant:
+				failed[f] = Redundant
+				res.Outcomes = append(res.Outcomes, Outcome{f, Redundant})
+			case Aborted:
+				// Stays aborted; a later pass may escalate again.
+			}
+		}
+	}
+	res.Cubes = cubes
+
+	// Phase 3: compaction. Without it, X bits fill with 0 — the same
+	// convention the fault-dropping engine used, so every detection the
+	// generation loop credited survives into the final set. The compacted
+	// path uses random fill (better fortuitous coverage) and repairs any
+	// fill-dependent loss with the top-up loop below.
+	patterns := fillZero(cubes)
+	if opts.Compact {
+		merged := mergeCubes(cubes)
+		patterns = fillAll(merged, rng)
+		patterns = reversePrune(c, flist, patterns)
+		// Fortuitous detections can depend on the fill; top up any
+		// coverage lost by re-targeting newly undetected faults.
+		for iter := 0; iter < 3; iter++ {
+			check := faultsim.NewEngine(c, flist)
+			check.Apply(patterns)
+			missing := 0
+			for _, f := range check.Remaining() {
+				if _, bad := failed[f]; bad {
+					continue
+				}
+				cube, status := pd.run(f)
+				if status != Detected {
+					failed[f] = status
+					continue
+				}
+				patterns = append(patterns, padCube(cube, width).Fill(func(int) logic.V {
+					return logic.FromBool(rng.Intn(2) == 1)
+				}))
+				missing++
+			}
+			if missing == 0 {
+				break
+			}
+		}
+	}
+	res.Patterns = patterns
+
+	// Final authoritative accounting.
+	final := faultsim.Simulate(c, patterns, flist)
+	res.NumDetected = final.NumDetected
+	for _, st := range failed {
+		switch st {
+		case Redundant:
+			res.NumRedundant++
+		case Aborted:
+			res.NumAborted++
+		}
+	}
+	res.Coverage = final.Coverage()
+	den := res.NumFaults - res.NumRedundant
+	if den <= 0 {
+		res.EffectiveCoverage = 1
+	} else {
+		res.EffectiveCoverage = float64(res.NumDetected) / float64(den)
+	}
+	return res
+}
+
+// extendCube performs dynamic compaction: secondary still-undetected
+// faults are targeted under the committed bits of cube; every success
+// merges more assignments in. Secondary failures are NOT recorded as
+// verdicts — a fault incompatible with this particular cube is simply left
+// for a later primary attempt.
+func extendCube(c *netlist.Circuit, pd *podem, engine *faultsim.Engine,
+	cube logic.Cube, primary faults.Fault, failed map[faults.Fault]Status,
+	opts Options, res *Result) logic.Cube {
+	limit := opts.DynamicTargets
+	if limit <= 0 {
+		limit = 16
+	}
+	width := len(cube)
+	tried := 0
+	for _, g := range engine.Remaining() {
+		if tried >= limit {
+			break
+		}
+		if g == primary {
+			continue
+		}
+		if _, bad := failed[g]; bad {
+			continue
+		}
+		tried++
+		extended, status := pd.runWithBase(g, cube)
+		if status != Detected {
+			continue
+		}
+		if !faultsim.SerialDetects(c, padCube(extended, width), g) {
+			panic(fmt.Sprintf("atpg: dynamic extension %v does not detect %s", extended, g.String(c)))
+		}
+		if !faultsim.SerialDetects(c, padCube(extended, width), primary) {
+			// The extension may only refine X bits, never break the
+			// primary detection; a violation is a search bug.
+			panic("atpg: dynamic extension broke the primary detection")
+		}
+		cube = extended
+		res.Outcomes = append(res.Outcomes, Outcome{g, Detected})
+	}
+	return cube
+}
+
+// rebaseEngine replays the kept patterns on a fresh engine so subsequent
+// detection bookkeeping is relative to the kept list.
+func rebaseEngine(c *netlist.Circuit, flist []faults.Fault, kept []logic.Cube) *faultsim.Engine {
+	e := faultsim.NewEngine(c, flist)
+	if len(kept) > 0 {
+		e.Apply(kept)
+	}
+	return e
+}
+
+// padCube extends a cube to the given width with X (defensive; PODEM cubes
+// are already full width).
+func padCube(c logic.Cube, width int) logic.Cube {
+	if len(c) == width {
+		return c
+	}
+	out := logic.NewCube(width)
+	copy(out, c)
+	return out
+}
+
+// mergeCubes greedily merges compatible cubes, most-specified first — the
+// static compaction of the paper's Section 3.
+func mergeCubes(cubes []logic.Cube) []logic.Cube {
+	order := make([]int, len(cubes))
+	for i := range order {
+		order[i] = i
+	}
+	// Stable selection: sort by descending specified-bit count.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && cubes[order[j]].Specified() > cubes[order[j-1]].Specified(); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	var merged []logic.Cube
+	for _, idx := range order {
+		c := cubes[idx]
+		placed := false
+		for i := range merged {
+			if merged[i].Compatible(c) {
+				merged[i].MergeInto(c)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			merged = append(merged, c.Clone())
+		}
+	}
+	return merged
+}
+
+// fillAll X-fills every cube with seeded random values.
+func fillAll(cubes []logic.Cube, rng *rand.Rand) []logic.Cube {
+	out := make([]logic.Cube, len(cubes))
+	for i, c := range cubes {
+		out[i] = c.Fill(func(int) logic.V { return logic.FromBool(rng.Intn(2) == 1) })
+	}
+	return out
+}
+
+// reversePrune drops patterns that add no detection when the set is fault
+// simulated in reverse order — classic reverse-order compaction.
+func reversePrune(c *netlist.Circuit, flist []faults.Fault, patterns []logic.Cube) []logic.Cube {
+	e := faultsim.NewEngine(c, flist)
+	var keptRev []logic.Cube
+	for i := len(patterns) - 1; i >= 0; i-- {
+		if e.Apply([]logic.Cube{patterns[i]}) > 0 {
+			keptRev = append(keptRev, patterns[i])
+		}
+	}
+	kept := make([]logic.Cube, len(keptRev))
+	for i, p := range keptRev {
+		kept[len(keptRev)-1-i] = p
+	}
+	return kept
+}
+
+// sortFaults orders faults deterministically.
+func sortFaults(fs []faults.Fault) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Less(fs[j]) })
+}
+
+// fillZero X-fills every cube with zeros, matching the fault-simulation
+// engine's X-as-0 convention.
+func fillZero(cubes []logic.Cube) []logic.Cube {
+	out := make([]logic.Cube, len(cubes))
+	for i, c := range cubes {
+		out[i] = c.Fill(func(int) logic.V { return logic.Zero })
+	}
+	return out
+}

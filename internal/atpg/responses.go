@@ -1,0 +1,58 @@
+package atpg
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Responses computes the expected fault-free responses of the final
+// pattern set over the PseudoOutputs frame — the response half of the test
+// data volume (the paper's Equation 1/4 count both stimulus and response
+// bits). The result is parallel to res.Patterns.
+func (r *Result) Responses(c *netlist.Circuit) []logic.Cube {
+	out := make([]logic.Cube, len(r.Patterns))
+	p := sim.NewPSim(c)
+	for off := 0; off < len(r.Patterns); off += sim.WordBits {
+		end := off + sim.WordBits
+		if end > len(r.Patterns) {
+			end = len(r.Patterns)
+		}
+		p.Load(r.Patterns[off:end])
+		p.Run()
+		for k := off; k < end; k++ {
+			out[k] = p.Response(k - off)
+		}
+	}
+	return out
+}
+
+// TesterData is the full tester payload of a test set: per-pattern
+// stimulus and expected-response vectors plus the resulting bit counts.
+type TesterData struct {
+	Stimuli   []logic.Cube // over PseudoInputs
+	Responses []logic.Cube // over PseudoOutputs
+	// StimulusBits and ResponseBits are the raw vector volumes;
+	// TotalBits is their sum — the test data volume of this test set
+	// under the naive all-points accounting.
+	StimulusBits int64
+	ResponseBits int64
+	TotalBits    int64
+}
+
+// BuildTesterData assembles the tester payload for the result's final
+// pattern set.
+func (r *Result) BuildTesterData(c *netlist.Circuit) TesterData {
+	td := TesterData{
+		Stimuli:   r.Patterns,
+		Responses: r.Responses(c),
+	}
+	for _, s := range td.Stimuli {
+		td.StimulusBits += int64(len(s))
+	}
+	for _, q := range td.Responses {
+		td.ResponseBits += int64(len(q))
+	}
+	td.TotalBits = td.StimulusBits + td.ResponseBits
+	return td
+}

@@ -1,0 +1,132 @@
+package bench89
+
+import (
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/netlist"
+)
+
+func TestStandardProfilesMatchPublishedPorts(t *testing.T) {
+	want := map[string][3]int{ // I, O, S from the paper's Tables 1-2
+		"s713":   {35, 23, 19},
+		"s953":   {16, 23, 29},
+		"s1423":  {17, 5, 74},
+		"s5378":  {35, 49, 179},
+		"s13207": {31, 121, 669},
+		"s15850": {14, 87, 597},
+	}
+	ps := StandardProfiles()
+	if len(ps) != len(want) {
+		t.Fatalf("profiles = %d, want %d", len(ps), len(want))
+	}
+	for _, p := range ps {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Errorf("unexpected profile %s", p.Name)
+			continue
+		}
+		if p.Inputs != w[0] || p.Outputs != w[1] || p.DFFs != w[2] {
+			t.Errorf("%s: %d/%d/%d, want %d/%d/%d", p.Name, p.Inputs, p.Outputs, p.DFFs, w[0], w[1], w[2])
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if _, ok := ProfileByName("s713"); !ok {
+		t.Error("s713 missing")
+	}
+	if _, ok := ProfileByName("c6288"); ok {
+		t.Error("unknown name found")
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	for _, p := range StandardProfiles() {
+		if p.Gates > 1000 {
+			continue // shapes of the big three are covered by the small ones
+		}
+		c, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		s := c.ComputeStats()
+		if s.Inputs != p.Inputs || s.Outputs != p.Outputs || s.DFFs != p.DFFs {
+			t.Errorf("%s: generated %d/%d/%d, want %d/%d/%d",
+				p.Name, s.Inputs, s.Outputs, s.DFFs, p.Inputs, p.Outputs, p.DFFs)
+		}
+		// Cone budgets and inverter insertion make the gate count
+		// approximate; it must stay within 30% of the target.
+		if s.Gates < p.Gates*7/10 || s.Gates > p.Gates*13/10 {
+			t.Errorf("%s: %d gates, want within 30%% of %d", p.Name, s.Gates, p.Gates)
+		}
+		if s.Depth < 4 {
+			t.Errorf("%s: depth %d too shallow for a realistic circuit", p.Name, s.Depth)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ProfileByName("s953")
+	a := MustGenerate(p)
+	b := MustGenerate(p)
+	if netlist.BenchString(a) != netlist.BenchString(b) {
+		t.Error("generation not deterministic")
+	}
+	p.Seed++
+	c := MustGenerate(p)
+	if netlist.BenchString(a) == netlist.BenchString(c) {
+		t.Error("different seeds produced identical circuits")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Profile{Name: "bad"}); err == nil {
+		t.Error("empty profile accepted")
+	}
+	if _, err := Generate(Profile{Name: "bad", Inputs: 2, Outputs: 10, Gates: 5}); err == nil {
+		t.Error("outputs > gates accepted")
+	}
+	if _, err := Generate(Profile{Name: "bad", Inputs: 1, Outputs: 1, Gates: 1, DFFs: -1}); err == nil {
+		t.Error("negative DFFs accepted")
+	}
+}
+
+func TestGeneratedCircuitIsATPGViable(t *testing.T) {
+	// The stand-ins must be usable end to end: high effective coverage and
+	// a meaningful pattern count under the default ATPG settings.
+	p, _ := ProfileByName("s713")
+	c := MustGenerate(p)
+	res := atpg.Generate(c, atpg.DefaultOptions())
+	if res.EffectiveCoverage < 0.90 {
+		t.Errorf("s713 stand-in effective coverage %.3f", res.EffectiveCoverage)
+	}
+	if res.PatternCount() < 5 {
+		t.Errorf("s713 stand-in pattern count %d suspiciously small", res.PatternCount())
+	}
+	undetected := res.NumFaults - res.NumDetected
+	if undetected > res.NumRedundant+res.NumAborted {
+		t.Errorf("accounting hole: %d undetected > %d+%d", undetected, res.NumRedundant, res.NumAborted)
+	}
+}
+
+func TestGeneratedConesVary(t *testing.T) {
+	// The paper's premise: cones in a circuit vary in size. Check the
+	// stand-in exhibits a spread of cone widths.
+	p, _ := ProfileByName("s953")
+	c := MustGenerate(p)
+	cones := c.AllCones()
+	min, max := 1<<30, 0
+	for i := range cones {
+		w := cones[i].Width()
+		if w < min {
+			min = w
+		}
+		if w > max {
+			max = w
+		}
+	}
+	if max-min < 3 {
+		t.Errorf("cone widths too uniform: %d..%d", min, max)
+	}
+}

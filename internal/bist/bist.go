@@ -1,0 +1,145 @@
+// Package bist models hybrid built-in self-test: an on-chip LFSR applies
+// pseudo-random patterns (with a MISR compacting responses) and the
+// external tester supplies only deterministic top-up patterns for the
+// random-resistant faults. This is the "on-chip source and sink" option of
+// the paper's reference test architecture [1], and the third way — besides
+// modular testing and compression — of cutting external test data volume.
+package bist
+
+import (
+	"fmt"
+
+	"repro/internal/atpg"
+	"repro/internal/faults"
+	"repro/internal/faultsim"
+	"repro/internal/lfsr"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Options configures a hybrid BIST run.
+type Options struct {
+	// LFSRWidth is the pattern generator width (8, 16, 24 or 32).
+	LFSRWidth int
+	// Seed is the LFSR starting state (nonzero).
+	Seed uint64
+	// RandomPatterns is the pseudo-random pattern budget.
+	RandomPatterns int
+	// TopUp configures the deterministic ATPG for random-resistant faults.
+	TopUp atpg.Options
+}
+
+// DefaultOptions returns a 10k-pattern, 24-bit configuration.
+func DefaultOptions() Options {
+	return Options{
+		LFSRWidth:      24,
+		Seed:           0xBEEF,
+		RandomPatterns: 10000,
+		TopUp:          atpg.DefaultOptions(),
+	}
+}
+
+// Result reports a hybrid BIST run.
+type Result struct {
+	// RandomDetected is the fault count covered by the on-chip phase.
+	RandomDetected int
+	// RandomCoverage is the coverage after the pseudo-random phase alone.
+	RandomCoverage float64
+	// TopUpPatterns are the deterministic external patterns for the
+	// random-resistant faults.
+	TopUpPatterns []logic.Cube
+	// FinalCoverage is the combined coverage.
+	FinalCoverage float64
+	// NumFaults is the collapsed fault universe size.
+	NumFaults int
+	// ExternalDataBits is the tester payload of the hybrid scheme: the
+	// LFSR seed plus the top-up stimuli and their responses, plus the
+	// final MISR signature.
+	ExternalDataBits int64
+	// FullExternalDataBits is the conventional all-external payload for
+	// the same final coverage target: every pattern and response from the
+	// tester (the Equation 1/4 style accounting).
+	FullExternalDataBits int64
+}
+
+// Reduction returns the external-data reduction factor of hybrid BIST
+// (full / hybrid); 0 when the hybrid volume is 0.
+func (r *Result) Reduction() float64 {
+	if r.ExternalDataBits == 0 {
+		return 0
+	}
+	return float64(r.FullExternalDataBits) / float64(r.ExternalDataBits)
+}
+
+// Run executes hybrid BIST on a full-scan circuit: pseudo-random phase
+// with fault dropping, then deterministic top-up ATPG on the survivors.
+func Run(c *netlist.Circuit, opts Options) (*Result, error) {
+	if !c.Finalized() {
+		return nil, fmt.Errorf("bist: circuit not finalized")
+	}
+	if opts.RandomPatterns <= 0 {
+		return nil, fmt.Errorf("bist: random pattern budget must be positive")
+	}
+	gen, err := lfsr.NewPrimitive(opts.LFSRWidth)
+	if err != nil {
+		return nil, err
+	}
+	if err := gen.Seed(opts.Seed); err != nil {
+		return nil, err
+	}
+
+	flist := faults.CollapsedUniverse(c)
+	engine := faultsim.NewEngine(c, flist)
+	width := len(c.PseudoInputs())
+	res := &Result{NumFaults: len(flist)}
+
+	batch := make([]logic.Cube, 0, 64)
+	applied := 0
+	for applied < opts.RandomPatterns && len(engine.Remaining()) > 0 {
+		batch = batch[:0]
+		for len(batch) < 64 && applied+len(batch) < opts.RandomPatterns {
+			batch = append(batch, gen.Pattern(width))
+		}
+		engine.Apply(batch)
+		applied += len(batch)
+	}
+	res.RandomDetected = engine.DetectedCount()
+	res.RandomCoverage = engine.Coverage()
+
+	// Deterministic top-up for the random-resistant faults.
+	topup := atpg.GenerateForFaults(c, engine.Remaining(), opts.TopUp)
+	res.TopUpPatterns = topup.Patterns
+
+	final := faultsim.NewEngine(c, flist)
+	final.Apply(gen2Patterns(opts, width, applied))
+	final.Apply(topup.Patterns)
+	res.FinalCoverage = final.Coverage()
+
+	// External data: seed + top-up stimulus/response + signature.
+	frame := int64(width + len(c.PseudoOutputs()))
+	res.ExternalDataBits = int64(opts.LFSRWidth) + // seed
+		int64(len(topup.Patterns))*frame + // top-up vectors both ways
+		int64(opts.LFSRWidth) // MISR signature (same width)
+	// Conventional scheme: ship enough deterministic patterns for the
+	// same coverage — approximated by a full ATPG run.
+	fullRun := atpg.Generate(c, opts.TopUp)
+	res.FullExternalDataBits = int64(fullRun.PatternCount()) * frame
+	return res, nil
+}
+
+// gen2Patterns regenerates the pseudo-random phase (the LFSR is
+// deterministic) for the final coverage accounting.
+func gen2Patterns(opts Options, width, n int) []logic.Cube {
+	gen, err := lfsr.NewPrimitive(opts.LFSRWidth)
+	if err != nil {
+		return nil
+	}
+	if gen.Seed(opts.Seed) != nil {
+		return nil
+	}
+	out := make([]logic.Cube, n)
+	for i := range out {
+		out[i] = gen.Pattern(width)
+	}
+	return out
+}

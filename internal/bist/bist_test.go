@@ -1,0 +1,108 @@
+package bist
+
+import (
+	"testing"
+
+	"repro/internal/bench89"
+	"repro/internal/netlist"
+)
+
+func standIn(t *testing.T, name string) *netlist.Circuit {
+	t.Helper()
+	prof, ok := bench89.ProfileByName(name)
+	if !ok {
+		t.Fatalf("profile %s missing", name)
+	}
+	return bench89.MustGenerate(prof)
+}
+
+func TestRunHybridBIST(t *testing.T) {
+	c := standIn(t, "s953")
+	res, err := Run(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RandomCoverage <= 0.5 {
+		t.Errorf("random phase coverage %.3f suspiciously low", res.RandomCoverage)
+	}
+	if res.FinalCoverage < res.RandomCoverage {
+		t.Error("top-up cannot lower coverage")
+	}
+	if res.FinalCoverage < 0.95 {
+		t.Errorf("final coverage %.3f too low", res.FinalCoverage)
+	}
+	// The whole point: the hybrid tester payload undercuts the all-
+	// external payload.
+	if res.ExternalDataBits >= res.FullExternalDataBits {
+		t.Errorf("hybrid %d bits not below full %d bits", res.ExternalDataBits, res.FullExternalDataBits)
+	}
+	if res.Reduction() <= 1 {
+		t.Errorf("reduction = %.2f, want > 1", res.Reduction())
+	}
+	// Top-up targets only random-resistant faults, so it is small.
+	if len(res.TopUpPatterns) > res.NumFaults/10 {
+		t.Errorf("top-up set too large: %d patterns", len(res.TopUpPatterns))
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	c := standIn(t, "s713")
+	a, err := Run(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RandomDetected != b.RandomDetected || a.ExternalDataBits != b.ExternalDataBits {
+		t.Error("hybrid BIST not deterministic")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := standIn(t, "s713")
+	opts := DefaultOptions()
+	opts.RandomPatterns = 0
+	if _, err := Run(c, opts); err == nil {
+		t.Error("zero budget accepted")
+	}
+	opts = DefaultOptions()
+	opts.LFSRWidth = 13
+	if _, err := Run(c, opts); err == nil {
+		t.Error("unsupported LFSR width accepted")
+	}
+	opts = DefaultOptions()
+	opts.Seed = 0
+	if _, err := Run(c, opts); err == nil {
+		t.Error("zero seed accepted")
+	}
+	raw := netlist.New("raw")
+	raw.MustAddGate("a", netlist.Input)
+	if _, err := Run(raw, DefaultOptions()); err == nil {
+		t.Error("non-finalized circuit accepted")
+	}
+}
+
+func TestMorePatternsHelpOrEqual(t *testing.T) {
+	c := standIn(t, "s713")
+	small := DefaultOptions()
+	small.RandomPatterns = 256
+	big := DefaultOptions()
+	big.RandomPatterns = 4096
+	a, err := Run(c, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.RandomCoverage < a.RandomCoverage {
+		t.Errorf("more random patterns lowered coverage: %.3f -> %.3f", a.RandomCoverage, b.RandomCoverage)
+	}
+	if len(b.TopUpPatterns) > len(a.TopUpPatterns) {
+		t.Errorf("more random patterns grew the top-up set: %d -> %d",
+			len(a.TopUpPatterns), len(b.TopUpPatterns))
+	}
+}

@@ -1,0 +1,214 @@
+// Package compress implements LFSR-reseeding test data compression
+// (Könemann's scheme): every test cube is encoded as an LFSR seed whose
+// pseudo-random expansion reproduces the cube's care bits exactly; the
+// don't-care bits fall where they may. The tester then ships one n-bit
+// seed per pattern instead of a full scan frame — the classic alternative
+// technique to the paper's modular-testing route for cutting test data
+// volume, used by the extension bench to put the two side by side.
+//
+// Encoding solves a GF(2) linear system: the bit loaded into scan position
+// j is a known XOR of seed bits (obtained by symbolic LFSR simulation), so
+// each care bit contributes one linear equation over the seed.
+package compress
+
+import (
+	"fmt"
+
+	"repro/internal/lfsr"
+	"repro/internal/logic"
+)
+
+// Encoder compresses cubes against a fixed LFSR structure.
+type Encoder struct {
+	width int // LFSR width n (seed bits)
+	taps  uint64
+	// rows[j] is the seed-bit mask whose parity equals output bit j.
+	rows []uint64
+}
+
+// NewEncoder returns an encoder for an n-bit primitive LFSR expanding to
+// frame scan positions.
+func NewEncoder(n, frame int) (*Encoder, error) {
+	if frame <= 0 {
+		return nil, fmt.Errorf("compress: frame must be positive")
+	}
+	taps, ok := lfsr.PrimitiveTaps(n)
+	if !ok {
+		return nil, fmt.Errorf("compress: no primitive polynomial for width %d", n)
+	}
+	e := &Encoder{width: n, taps: taps, rows: make([]uint64, frame)}
+
+	// Symbolic simulation: state[i] is the seed mask of state bit i.
+	state := make([]uint64, n)
+	for i := range state {
+		state[i] = 1 << uint(i)
+	}
+	for t := 0; t < frame; t++ {
+		e.rows[t] = state[0] // output = old LSB
+		var fb uint64
+		for i := 0; i < n; i++ {
+			if taps&(1<<uint(i)) != 0 {
+				fb ^= state[i]
+			}
+		}
+		copy(state, state[1:])
+		state[n-1] = fb
+	}
+	return e, nil
+}
+
+// SeedBits returns the seed width n.
+func (e *Encoder) SeedBits() int { return e.width }
+
+// Frame returns the expansion length.
+func (e *Encoder) Frame() int { return len(e.rows) }
+
+// Encode solves for a seed reproducing every care bit of the cube.
+// It fails when the cube has more independent care bits than the seed can
+// express (the classic s_max limit: cubes with up to about n−20 care bits
+// encode with high probability).
+func (e *Encoder) Encode(cube logic.Cube) (uint64, error) {
+	if len(cube) != len(e.rows) {
+		return 0, fmt.Errorf("compress: cube width %d != frame %d", len(cube), len(e.rows))
+	}
+	// Gaussian elimination over GF(2): rows are (mask, rhs).
+	type eq struct {
+		mask uint64
+		rhs  uint64
+	}
+	var sys []eq
+	for j, v := range cube {
+		if !v.Binary() {
+			continue
+		}
+		rhs := uint64(0)
+		if v == logic.One {
+			rhs = 1
+		}
+		sys = append(sys, eq{e.rows[j], rhs})
+	}
+	var pivots [64]int // pivot row index per bit, -1 when free
+	for i := range pivots {
+		pivots[i] = -1
+	}
+	var reduced []eq
+	for _, q := range sys {
+		for bit := e.width - 1; bit >= 0; bit-- {
+			if q.mask&(1<<uint(bit)) == 0 {
+				continue
+			}
+			if p := pivots[bit]; p >= 0 {
+				q.mask ^= reduced[p].mask
+				q.rhs ^= reduced[p].rhs
+				continue
+			}
+			pivots[bit] = len(reduced)
+			reduced = append(reduced, q)
+			break
+		}
+		if q.mask == 0 && q.rhs == 1 {
+			return 0, fmt.Errorf("compress: cube unencodable with %d seed bits", e.width)
+		}
+	}
+	// Back substitution: free variables default to 0, but a zero seed is
+	// degenerate for the LFSR; prefer setting one free bit if needed.
+	var seed uint64
+	for bit := 0; bit < e.width; bit++ {
+		p := pivots[bit]
+		if p < 0 {
+			continue
+		}
+		q := reduced[p]
+		// value(bit) = rhs XOR parity(mask without this bit under seed).
+		v := q.rhs ^ parity64(q.mask&seed&^(1<<uint(bit)))
+		if v == 1 {
+			seed |= 1 << uint(bit)
+		}
+	}
+	// Verify (back substitution above processes pivots in ascending bit
+	// order, which is only sound when each pivot's lower bits are already
+	// final; the explicit check below makes failure impossible to miss).
+	for _, q := range sys {
+		if parity64(q.mask&seed) != q.rhs {
+			return 0, fmt.Errorf("compress: internal solve error")
+		}
+	}
+	if seed == 0 {
+		// All-X cube or homogeneous zero solution: pick any nonzero seed
+		// consistent with the system. With no equations, 1 works; with
+		// equations, flip a free bit.
+		if len(sys) == 0 {
+			return 1, nil
+		}
+		for bit := 0; bit < e.width; bit++ {
+			if pivots[bit] < 0 {
+				cand := seed | 1<<uint(bit)
+				ok := true
+				for _, q := range sys {
+					if parity64(q.mask&cand) != q.rhs {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					return cand, nil
+				}
+			}
+		}
+		return 0, fmt.Errorf("compress: only the degenerate zero seed satisfies the cube")
+	}
+	return seed, nil
+}
+
+// Decode expands a seed back into the fully specified frame.
+func (e *Encoder) Decode(seed uint64) logic.Cube {
+	out := make(logic.Cube, len(e.rows))
+	for j, mask := range e.rows {
+		out[j] = logic.FromBool(parity64(mask&seed) == 1)
+	}
+	return out
+}
+
+func parity64(x uint64) uint64 {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}
+
+// Stats summarises compressing a cube set.
+type Stats struct {
+	Encoded    int
+	Failed     int
+	SeedBits   int64 // total shipped seed bits
+	FrameBits  int64 // uncompressed stimulus volume of the encoded cubes
+	FailedBits int64 // stimulus volume shipped raw for unencodable cubes
+}
+
+// StimulusReduction returns uncompressed/compressed for the stimulus side.
+func (s Stats) StimulusReduction() float64 {
+	comp := s.SeedBits + s.FailedBits
+	if comp == 0 {
+		return 0
+	}
+	return float64(s.FrameBits+s.FailedBits) / float64(comp)
+}
+
+// CompressSet encodes every cube, shipping failures uncompressed.
+func (e *Encoder) CompressSet(cubes []logic.Cube) Stats {
+	var st Stats
+	for _, c := range cubes {
+		if _, err := e.Encode(c); err != nil {
+			st.Failed++
+			st.FailedBits += int64(len(c))
+			continue
+		}
+		st.Encoded++
+		st.SeedBits += int64(e.width)
+		st.FrameBits += int64(len(c))
+	}
+	return st
+}

@@ -1,0 +1,164 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lfsr"
+	"repro/internal/logic"
+)
+
+func TestNewEncoderValidation(t *testing.T) {
+	if _, err := NewEncoder(16, 0); err == nil {
+		t.Error("zero frame accepted")
+	}
+	if _, err := NewEncoder(13, 10); err == nil {
+		t.Error("unsupported width accepted")
+	}
+	e, err := NewEncoder(16, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SeedBits() != 16 || e.Frame() != 100 {
+		t.Errorf("shape: %d/%d", e.SeedBits(), e.Frame())
+	}
+}
+
+// TestSymbolicMatchesConcrete: the encoder's symbolic rows must agree with
+// the concrete LFSR: Decode(seed) == the LFSR's actual expansion.
+func TestSymbolicMatchesConcrete(t *testing.T) {
+	for _, n := range []int{8, 16, 24, 32} {
+		e, err := NewEncoder(n, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, _ := lfsr.NewPrimitive(n)
+		seeds := []uint64{1, 0xACE1 & (1<<uint(n) - 1), 1<<uint(n-1) | 5}
+		for _, seed := range seeds {
+			if err := gen.Seed(seed); err != nil {
+				t.Fatal(err)
+			}
+			want := gen.Pattern(120)
+			got := e.Decode(seed)
+			if got.String() != want.String() {
+				t.Fatalf("n=%d seed=%#x: symbolic and concrete expansions differ", n, seed)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e, err := NewEncoder(32, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		// Sparse cube: ~10 care bits, well under the s_max limit.
+		cube := logic.NewCube(200)
+		for k := 0; k < 10; k++ {
+			cube[r.Intn(200)] = logic.FromBool(r.Intn(2) == 1)
+		}
+		seed, err := e.Encode(cube)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if seed == 0 {
+			t.Fatal("degenerate zero seed returned")
+		}
+		full := e.Decode(seed)
+		if !full.Covers(cube) {
+			t.Fatalf("trial %d: decoded frame does not cover the cube", trial)
+		}
+	}
+}
+
+func TestEncodeAllXCube(t *testing.T) {
+	e, _ := NewEncoder(16, 50)
+	seed, err := e.Encode(logic.NewCube(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed == 0 {
+		t.Error("all-X cube must yield a usable nonzero seed")
+	}
+}
+
+func TestEncodeWidthMismatch(t *testing.T) {
+	e, _ := NewEncoder(16, 50)
+	if _, err := e.Encode(logic.NewCube(49)); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestOverconstrainedCubeFails(t *testing.T) {
+	// 60 care bits cannot fit in 16 seed bits (except with astronomical
+	// luck in a consistent system — the solver must detect inconsistency).
+	e, _ := NewEncoder(16, 64)
+	r := rand.New(rand.NewSource(3))
+	fails := 0
+	for trial := 0; trial < 20; trial++ {
+		cube := make(logic.Cube, 64)
+		for i := range cube {
+			cube[i] = logic.FromBool(r.Intn(2) == 1)
+		}
+		if _, err := e.Encode(cube); err != nil {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Error("no fully specified 64-bit cube failed on a 16-bit seed")
+	}
+}
+
+// Property: any encodable cube decodes to a frame covering it.
+func TestEncodeCoversProperty(t *testing.T) {
+	e, err := NewEncoder(24, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(func(s int64) bool {
+		r := rand.New(rand.NewSource(s))
+		cube := logic.NewCube(150)
+		care := r.Intn(8)
+		for k := 0; k < care; k++ {
+			cube[r.Intn(150)] = logic.FromBool(r.Intn(2) == 1)
+		}
+		seed, err := e.Encode(cube)
+		if err != nil {
+			return true // unencodable is a legal outcome
+		}
+		return seed != 0 && e.Decode(seed).Covers(cube)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressSetStats(t *testing.T) {
+	e, _ := NewEncoder(24, 100)
+	r := rand.New(rand.NewSource(17))
+	var cubes []logic.Cube
+	for i := 0; i < 30; i++ {
+		c := logic.NewCube(100)
+		for k := 0; k < 5; k++ {
+			c[r.Intn(100)] = logic.FromBool(r.Intn(2) == 1)
+		}
+		cubes = append(cubes, c)
+	}
+	st := e.CompressSet(cubes)
+	if st.Encoded != 30 || st.Failed != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.SeedBits != 30*24 || st.FrameBits != 30*100 {
+		t.Fatalf("bits: %+v", st)
+	}
+	// 100 bits -> 24 bits: reduction > 4x.
+	if st.StimulusReduction() < 4 {
+		t.Errorf("reduction = %.2f, want > 4", st.StimulusReduction())
+	}
+	var empty Stats
+	if empty.StimulusReduction() != 0 {
+		t.Error("empty stats reduction must be 0")
+	}
+}

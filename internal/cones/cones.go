@@ -1,0 +1,282 @@
+// Package cones implements the paper's Section 3 conceptual analysis: logic
+// cones as the unit of ATPG work, per-cone pattern counts and their
+// variation, cone overlap, and the analytic worked example of Figures 1
+// and 2 (three cones of 20/10/20 flip-flops needing 200/300/400 patterns).
+package cones
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/atpg"
+	"repro/internal/netlist"
+)
+
+// Spec describes one logic cone (or fine-grained core) in the analytic
+// model: how many scan cells drive it and how many partial test patterns it
+// needs. It corresponds to one cone of Figure 1.
+type Spec struct {
+	Name     string
+	Cells    int // scan flip-flops driving the cone
+	Patterns int // partial test patterns required for the cone
+}
+
+// Model is the analytic test-data model over a set of non-overlapping cones
+// (Figure 1(a) / Figure 2(a) of the paper).
+type Model struct {
+	Cones []Spec
+}
+
+// PaperExample returns the exact worked example of the paper's Section 3:
+// Cones A, B, C with 20, 10, 20 scan flip-flops and 200, 300, 400 partial
+// patterns.
+func PaperExample() Model {
+	return Model{Cones: []Spec{
+		{Name: "Cone A", Cells: 20, Patterns: 200},
+		{Name: "Cone B", Cells: 10, Patterns: 300},
+		{Name: "Cone C", Cells: 20, Patterns: 400},
+	}}
+}
+
+// TotalCells returns the total scan cells across all cones.
+func (m Model) TotalCells() int {
+	n := 0
+	for _, c := range m.Cones {
+		n += c.Cells
+	}
+	return n
+}
+
+// MaxPatterns returns the maximum per-cone pattern count — the monolithic
+// pattern count under perfect compaction of non-overlapping cones.
+func (m Model) MaxPatterns() int {
+	max := 0
+	for _, c := range m.Cones {
+		if c.Patterns > max {
+			max = c.Patterns
+		}
+	}
+	return max
+}
+
+// MonolithicStimulusBits returns the stimulus volume of testing the cones
+// monolithically with perfect compaction: every pattern loads every scan
+// cell, and MaxPatterns patterns are needed (Figure 1(a): 400 × 50 =
+// 20,000 bits).
+func (m Model) MonolithicStimulusBits() int64 {
+	return int64(m.MaxPatterns()) * int64(m.TotalCells())
+}
+
+// ModularStimulusBits returns the stimulus volume of testing each cone as
+// its own core: each cone is loaded only with its own patterns
+// (Figure 2(a): 600×20 + 300×10 = 15,000 bits).
+func (m Model) ModularStimulusBits() int64 {
+	var n int64
+	for _, c := range m.Cones {
+		n += int64(c.Patterns) * int64(c.Cells)
+	}
+	return n
+}
+
+// ModularStimulusBitsWithWrapper adds per-cone wrapper cells: each cone's
+// per-pattern load grows by its wrapper cell count (the isolation penalty
+// of Figure 2(b)).
+func (m Model) ModularStimulusBitsWithWrapper(wrapperCells []int) (int64, error) {
+	if len(wrapperCells) != len(m.Cones) {
+		return 0, fmt.Errorf("cones: %d wrapper cell counts for %d cones", len(wrapperCells), len(m.Cones))
+	}
+	var n int64
+	for i, c := range m.Cones {
+		n += int64(c.Patterns) * int64(c.Cells+wrapperCells[i])
+	}
+	return n, nil
+}
+
+// Reduction returns the fractional stimulus-volume reduction of modular
+// over monolithic testing (0.25 for the paper's example).
+func (m Model) Reduction() float64 {
+	mono := m.MonolithicStimulusBits()
+	if mono == 0 {
+		return 0
+	}
+	return 1 - float64(m.ModularStimulusBits())/float64(mono)
+}
+
+// Profile is the measured ATPG profile of one extracted cone.
+type Profile struct {
+	Apex     string // net name of the cone apex
+	Width    int    // controllable points feeding the cone
+	Size     int    // gates in the cone
+	Patterns int    // ATPG pattern count for the isolated cone
+	Coverage float64
+}
+
+// Analysis is the per-cone decomposition of one circuit.
+type Analysis struct {
+	Circuit  string
+	Profiles []Profile
+	// OverlapPairs counts cone pairs sharing at least one support line —
+	// the structural overlap of Figure 1(b).
+	OverlapPairs int
+	// TotalPairs is the number of cone pairs considered.
+	TotalPairs int
+}
+
+// Analyze extracts every cone of the circuit, runs isolated per-cone ATPG
+// on each, and reports the pattern-count distribution and the cone overlap
+// structure. ATPG uses the supplied options.
+func Analyze(c *netlist.Circuit, opts atpg.Options) (*Analysis, error) {
+	cones := c.AllCones()
+	a := &Analysis{Circuit: c.Name}
+	for i := range cones {
+		cone := &cones[i]
+		sub, _, err := netlist.SubcircuitFromCone(c, cone)
+		if err != nil {
+			return nil, fmt.Errorf("cones: extracting cone %s: %w", c.Gate(cone.Apex).Name, err)
+		}
+		res := atpg.Generate(sub, opts)
+		a.Profiles = append(a.Profiles, Profile{
+			Apex:     c.Gate(cone.Apex).Name,
+			Width:    cone.Width(),
+			Size:     cone.Size(),
+			Patterns: res.PatternCount(),
+			Coverage: res.Coverage,
+		})
+	}
+	for i := range cones {
+		for j := i + 1; j < len(cones); j++ {
+			a.TotalPairs++
+			if netlist.SupportOverlap(&cones[i], &cones[j]) > 0 {
+				a.OverlapPairs++
+			}
+		}
+	}
+	return a, nil
+}
+
+// PatternCounts returns the per-cone pattern counts in profile order.
+func (a *Analysis) PatternCounts() []int {
+	ts := make([]int, len(a.Profiles))
+	for i, p := range a.Profiles {
+		ts[i] = p.Patterns
+	}
+	return ts
+}
+
+// MaxPatterns returns the largest per-cone pattern count.
+func (a *Analysis) MaxPatterns() int {
+	max := 0
+	for _, p := range a.Profiles {
+		if p.Patterns > max {
+			max = p.Patterns
+		}
+	}
+	return max
+}
+
+// NormStdev returns the normalized sample standard deviation (stdev/mean,
+// with the n−1 divisor) of the per-cone pattern counts — the statistic the
+// paper correlates with TDV reduction (Table 4, column 3).
+func NormStdev(ts []int) float64 {
+	if len(ts) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, t := range ts {
+		sum += float64(t)
+	}
+	mean := sum / float64(len(ts))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, t := range ts {
+		d := float64(t) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(ts)-1)) / mean
+}
+
+// String renders a short summary of the analysis.
+func (a *Analysis) String() string {
+	ts := a.PatternCounts()
+	sort.Ints(ts)
+	min, max := 0, 0
+	if len(ts) > 0 {
+		min, max = ts[0], ts[len(ts)-1]
+	}
+	return fmt.Sprintf("%s: %d cones, patterns %d..%d (norm stdev %.2f), %d/%d overlapping pairs",
+		a.Circuit, len(a.Profiles), min, max, NormStdev(ts), a.OverlapPairs, a.TotalPairs)
+}
+
+// MonoEstimate bounds the monolithic pattern count from the per-cone
+// decomposition, making the paper's Section 3 argument quantitative:
+//
+//   - Lower is max_i T_i — Equation 2's bound, achieved only if every
+//     pair of cones merges perfectly;
+//   - Upper is Σ T_i — no merging at all;
+//   - Estimate greedily packs support-disjoint cones into shared pattern
+//     slots (disjoint cones always merge; overlapping cones are assumed
+//     never to), which is exactly the paper's pessimistic compaction
+//     model.
+type MonoEstimate struct {
+	Lower    int
+	Estimate int
+	Upper    int
+}
+
+// EstimateMonolithicPatterns computes the bounds for the analyzed circuit.
+// The circuit must be the one Analyze ran on (the cone order must match).
+func (a *Analysis) EstimateMonolithicPatterns(c *netlist.Circuit) (MonoEstimate, error) {
+	cones := c.AllCones()
+	if len(cones) != len(a.Profiles) {
+		return MonoEstimate{}, fmt.Errorf("cones: circuit has %d cones, analysis has %d profiles",
+			len(cones), len(a.Profiles))
+	}
+	for i := range cones {
+		if got := c.Gate(cones[i].Apex).Name; got != a.Profiles[i].Apex {
+			return MonoEstimate{}, fmt.Errorf("cones: cone %d apex %q does not match profile %q",
+				i, got, a.Profiles[i].Apex)
+		}
+	}
+	var est MonoEstimate
+	order := make([]int, len(cones))
+	for i := range order {
+		order[i] = i
+		t := a.Profiles[i].Patterns
+		est.Upper += t
+		if t > est.Lower {
+			est.Lower = t
+		}
+	}
+	sort.Slice(order, func(x, y int) bool {
+		return a.Profiles[order[x]].Patterns > a.Profiles[order[y]].Patterns
+	})
+	// Greedy grouping: a cone joins the first group whose members are all
+	// support-disjoint from it; the group's slot need is its largest
+	// (first) member, so the estimate sums the group openers.
+	var groups [][]int
+	for _, i := range order {
+		placed := false
+		for gi := range groups {
+			ok := true
+			for _, j := range groups[gi] {
+				if netlist.SupportOverlap(&cones[i], &cones[j]) > 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				groups[gi] = append(groups[gi], i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []int{i})
+			est.Estimate += a.Profiles[i].Patterns
+		}
+	}
+	return est, nil
+}

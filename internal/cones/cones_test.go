@@ -1,0 +1,239 @@
+package cones
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/bench89"
+	"repro/internal/netlist"
+)
+
+func TestPaperExampleReproducesSection3(t *testing.T) {
+	m := PaperExample()
+	if got := m.TotalCells(); got != 50 {
+		t.Errorf("total cells = %d, want 50", got)
+	}
+	if got := m.MaxPatterns(); got != 400 {
+		t.Errorf("max patterns = %d, want 400", got)
+	}
+	// Figure 1(a): 400 x 50 = 20,000 stimulus bits.
+	if got := m.MonolithicStimulusBits(); got != 20000 {
+		t.Errorf("monolithic bits = %d, want 20000", got)
+	}
+	// Figure 2(a): 600x20 + 300x10 = 15,000 bits.
+	if got := m.ModularStimulusBits(); got != 15000 {
+		t.Errorf("modular bits = %d, want 15000", got)
+	}
+	// "a reduction of test data volume of 25%".
+	if got := m.Reduction(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("reduction = %v, want 0.25", got)
+	}
+}
+
+func TestModularWithWrapperPenalty(t *testing.T) {
+	m := PaperExample()
+	// Wrapping each cone-core with cells on its support (Figure 2(b))
+	// increases per-pattern load; with zero cells it equals the bare sum.
+	zero, err := m.ModularStimulusBitsWithWrapper([]int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != m.ModularStimulusBits() {
+		t.Error("zero wrapper cells must not change the volume")
+	}
+	with, err := m.ModularStimulusBitsWithWrapper([]int{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(200*25 + 300*15 + 400*25)
+	if with != want {
+		t.Errorf("wrapped bits = %d, want %d", with, want)
+	}
+	if _, err := m.ModularStimulusBitsWithWrapper([]int{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestReductionZeroWhenEmpty(t *testing.T) {
+	var m Model
+	if m.Reduction() != 0 || m.MonolithicStimulusBits() != 0 {
+		t.Error("empty model must be all zeros")
+	}
+}
+
+const c17Bench = `
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+func TestAnalyzeC17(t *testing.T) {
+	c, err := netlist.ParseBenchString("c17", c17Bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(c, atpg.Options{BacktrackLimit: 100, RandomPatterns: 0, Compact: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Profiles) != 2 {
+		t.Fatalf("profiles = %d, want 2", len(a.Profiles))
+	}
+	for _, p := range a.Profiles {
+		if p.Coverage != 1 {
+			t.Errorf("cone %s coverage = %v", p.Apex, p.Coverage)
+		}
+		if p.Patterns == 0 {
+			t.Errorf("cone %s has zero patterns", p.Apex)
+		}
+		if p.Width != 4 {
+			t.Errorf("cone %s width = %d, want 4", p.Apex, p.Width)
+		}
+	}
+	// c17's two output cones overlap in support (G2, G3, G6).
+	if a.OverlapPairs != 1 || a.TotalPairs != 1 {
+		t.Errorf("overlap pairs = %d/%d, want 1/1", a.OverlapPairs, a.TotalPairs)
+	}
+	if a.MaxPatterns() == 0 {
+		t.Error("MaxPatterns zero")
+	}
+	if len(a.PatternCounts()) != 2 {
+		t.Error("PatternCounts wrong")
+	}
+	if !strings.Contains(a.String(), "c17") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestAnalyzeDisjointCones(t *testing.T) {
+	// Two completely independent cones: no overlap pairs.
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+OUTPUT(z)
+y = AND(a, b)
+z = OR(c, d)
+`
+	circ, err := netlist.ParseBenchString("disjoint", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(circ, atpg.Options{BacktrackLimit: 50, RandomPatterns: 0, Compact: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OverlapPairs != 0 {
+		t.Errorf("disjoint cones reported overlapping: %d", a.OverlapPairs)
+	}
+}
+
+func TestNormStdev(t *testing.T) {
+	// Paper Table 4: g12710's counts give 0.18 (sample stdev / mean).
+	if got := NormStdev([]int{852, 1314, 1223, 1223}); math.Abs(got-0.178) > 0.002 {
+		t.Errorf("norm stdev = %v, want ~0.178", got)
+	}
+	if NormStdev([]int{5}) != 0 || NormStdev(nil) != 0 {
+		t.Error("degenerate stdev must be 0")
+	}
+	if NormStdev([]int{0, 0, 0}) != 0 {
+		t.Error("zero-mean stdev must be 0")
+	}
+	if NormStdev([]int{7, 7, 7}) != 0 {
+		t.Error("constant counts must have zero stdev")
+	}
+}
+
+func TestEstimateMonolithicPatterns(t *testing.T) {
+	// Overlapping cones (c17): no sharing -> estimate == upper.
+	c, err := netlist.ParseBenchString("c17", c17Bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(c, atpg.Options{BacktrackLimit: 100, RandomPatterns: 0, Compact: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := a.EstimateMonolithicPatterns(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Lower > est.Estimate || est.Estimate > est.Upper {
+		t.Fatalf("bounds out of order: %+v", est)
+	}
+	if est.Estimate != est.Upper {
+		t.Errorf("overlapping cones must not share slots: %+v", est)
+	}
+
+	// Disjoint cones: full sharing -> estimate == lower.
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+OUTPUT(z)
+y = AND(a, b)
+z = OR(c, d)
+`
+	dc, err := netlist.ParseBenchString("disjoint", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := Analyze(dc, atpg.Options{BacktrackLimit: 100, RandomPatterns: 0, Compact: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest, err := da.EstimateMonolithicPatterns(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dest.Estimate != dest.Lower {
+		t.Errorf("disjoint cones must share slots fully: %+v", dest)
+	}
+
+	// Mismatched circuit is rejected.
+	if _, err := a.EstimateMonolithicPatterns(dc); err == nil {
+		t.Error("mismatched circuit accepted")
+	}
+}
+
+func TestEstimateBracketsRealMonoCount(t *testing.T) {
+	// On a stand-in core the real whole-circuit ATPG count must respect
+	// the lower bound and (with compaction) stay at or below the
+	// pessimistic upper bound.
+	prof, _ := bench89.ProfileByName("s953")
+	c := bench89.MustGenerate(prof)
+	opts := atpg.DefaultOptions()
+	a, err := Analyze(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := a.EstimateMonolithicPatterns(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := atpg.Generate(c, opts)
+	if whole.PatternCount() < est.Lower {
+		t.Errorf("whole-circuit %d below the max-cone bound %d", whole.PatternCount(), est.Lower)
+	}
+	if whole.PatternCount() > est.Upper {
+		t.Errorf("whole-circuit %d above the no-merge bound %d", whole.PatternCount(), est.Upper)
+	}
+	t.Logf("mono bounds: lower %d, estimate %d, upper %d, measured %d",
+		est.Lower, est.Estimate, est.Upper, whole.PatternCount())
+}

@@ -1,0 +1,166 @@
+// Package diag implements dictionary-based stuck-at fault diagnosis: given
+// the observed failing behaviour of a device on a known pattern set, rank
+// the candidate faults whose simulated behaviour best explains it.
+//
+// Diagnosis is another capability modular SOC testing improves: with
+// per-core tests and wrapper isolation, a failure is localized to a core
+// before intra-core diagnosis even starts, and the dictionary is per-core
+// (small) instead of chip-wide. The package supports both full-response
+// matching and compact pass/fail dictionaries.
+package diag
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/faultsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Dictionary holds, for every candidate fault, the set of (pattern,
+// output) positions where the faulty machine differs from the good one.
+type Dictionary struct {
+	circuit  *netlist.Circuit
+	patterns []logic.Cube
+	flist    []faults.Fault
+	// fails[i] lists the failing (pattern*stride + ppoIndex) keys of
+	// fault i, sorted.
+	fails  [][]int32
+	stride int32
+}
+
+// Build constructs the full-response fault dictionary by simulating every
+// candidate fault against every pattern.
+func Build(c *netlist.Circuit, patterns []logic.Cube, flist []faults.Fault) (*Dictionary, error) {
+	if !c.Finalized() {
+		return nil, fmt.Errorf("diag: circuit not finalized")
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("diag: empty pattern set")
+	}
+	d := &Dictionary{
+		circuit:  c,
+		patterns: patterns,
+		flist:    flist,
+		fails:    make([][]int32, len(flist)),
+		stride:   int32(len(c.PseudoOutputs())),
+	}
+	// Per fault: the failing (pattern, output) positions via the
+	// bit-parallel engine, so whole-core dictionaries build quickly.
+	for fi, f := range flist {
+		byPattern := faultsim.FailingPositions(c, patterns, f)
+		keys := make([]int, 0, len(byPattern))
+		for k := range byPattern {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			for _, o := range byPattern[k] {
+				d.fails[fi] = append(d.fails[fi], int32(k)*d.stride+int32(o))
+			}
+		}
+	}
+	return d, nil
+}
+
+// Observation is the tester's view of a failing device: for each pattern
+// index, the set of pseudo-output positions that miscompared. Patterns
+// absent from the map passed.
+type Observation map[int][]int
+
+// Candidate is one ranked diagnosis.
+type Candidate struct {
+	Fault faults.Fault
+	// Matched counts observed failing positions the fault explains;
+	// Missed counts observed failures it cannot explain; Extra counts
+	// failures it predicts that were not observed.
+	Matched int
+	Missed  int
+	Extra   int
+}
+
+// Score is Matched − Missed − Extra: exact match maximizes it.
+func (c Candidate) Score() int { return c.Matched - c.Missed - c.Extra }
+
+// Perfect reports a complete explanation (no misses, no extras).
+func (c Candidate) Perfect() bool { return c.Missed == 0 && c.Extra == 0 }
+
+// Diagnose ranks all candidate faults against the observation, best first;
+// ties break on the fault order. Only faults with at least one matched
+// failure appear.
+func (d *Dictionary) Diagnose(obs Observation) []Candidate {
+	// Flatten the observation into the dictionary's key space.
+	want := map[int32]bool{}
+	for k, outs := range obs {
+		for _, o := range outs {
+			if k >= 0 && k < len(d.patterns) && int32(o) < d.stride && o >= 0 {
+				want[int32(k)*d.stride+int32(o)] = true
+			}
+		}
+	}
+	var out []Candidate
+	for fi, f := range d.flist {
+		cand := Candidate{Fault: f}
+		seen := map[int32]bool{}
+		for _, key := range d.fails[fi] {
+			seen[key] = true
+			if want[key] {
+				cand.Matched++
+			} else {
+				cand.Extra++
+			}
+		}
+		for key := range want {
+			if !seen[key] {
+				cand.Missed++
+			}
+		}
+		if cand.Matched > 0 {
+			out = append(out, cand)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score() != out[j].Score() {
+			return out[i].Score() > out[j].Score()
+		}
+		return out[i].Fault.Less(out[j].Fault)
+	})
+	return out
+}
+
+// ObservationFor synthesizes the observation a device with the given
+// fault would produce — the test fixture for diagnosis experiments.
+func (d *Dictionary) ObservationFor(f faults.Fault) (Observation, error) {
+	for fi, g := range d.flist {
+		if g == f {
+			obs := Observation{}
+			for _, key := range d.fails[fi] {
+				k := int(key / d.stride)
+				o := int(key % d.stride)
+				obs[k] = append(obs[k], o)
+			}
+			return obs, nil
+		}
+	}
+	return nil, fmt.Errorf("diag: fault not in dictionary")
+}
+
+// PassFailSignature reduces a fault's dictionary entry to the set of
+// failing pattern indices only — the compact pass/fail dictionary.
+func (d *Dictionary) PassFailSignature(fi int) []int {
+	var out []int
+	last := int32(-1)
+	for _, key := range d.fails[fi] {
+		k := key / d.stride
+		if k != last {
+			out = append(out, int(k))
+			last = k
+		}
+	}
+	return out
+}
+
+// NumFaults returns the candidate fault count.
+func (d *Dictionary) NumFaults() int { return len(d.flist) }

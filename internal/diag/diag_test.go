@@ -1,0 +1,224 @@
+package diag
+
+import (
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/faults"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+const c17Bench = `
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+func buildC17Dictionary(t *testing.T) (*netlist.Circuit, []faults.Fault, *Dictionary) {
+	t.Helper()
+	c, err := netlist.ParseBenchString("c17", c17Bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flist := faults.CollapsedUniverse(c)
+	// Exhaustive pattern set for a clean dictionary.
+	var patterns []logic.Cube
+	for bits := 0; bits < 32; bits++ {
+		p := make(logic.Cube, 5)
+		for i := 0; i < 5; i++ {
+			p[i] = logic.FromBit(bits >> uint(i) & 1)
+		}
+		patterns = append(patterns, p)
+	}
+	d, err := Build(c, patterns, flist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, flist, d
+}
+
+func TestBuildValidation(t *testing.T) {
+	c, _ := netlist.ParseBenchString("c17", c17Bench)
+	if _, err := Build(c, nil, nil); err == nil {
+		t.Error("empty pattern set accepted")
+	}
+	raw := netlist.New("raw")
+	raw.MustAddGate("a", netlist.Input)
+	if _, err := Build(raw, []logic.Cube{logic.NewCube(1)}, nil); err == nil {
+		t.Error("non-finalized circuit accepted")
+	}
+}
+
+// TestSelfDiagnosisRanksInjectedFaultFirst: for every fault, the
+// observation synthesized from that fault must diagnose to a perfect
+// candidate whose dictionary column is identical (the fault itself or an
+// indistinguishable equivalent).
+func TestSelfDiagnosisRanksInjectedFaultFirst(t *testing.T) {
+	c, flist, d := buildC17Dictionary(t)
+	if d.NumFaults() != len(flist) {
+		t.Fatalf("dictionary faults = %d", d.NumFaults())
+	}
+	for _, f := range flist {
+		obs, err := d.ObservationFor(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(obs) == 0 {
+			// c17 is fully testable under exhaustive patterns.
+			t.Fatalf("fault %s has empty behaviour", f.String(c))
+		}
+		cands := d.Diagnose(obs)
+		if len(cands) == 0 {
+			t.Fatalf("fault %s: no candidates", f.String(c))
+		}
+		top := cands[0]
+		if !top.Perfect() {
+			t.Fatalf("fault %s: top candidate %s imperfect (%d/%d/%d)",
+				f.String(c), top.Fault.String(c), top.Matched, top.Missed, top.Extra)
+		}
+		// The injected fault itself must appear among the perfect
+		// candidates.
+		foundSelf := false
+		for _, cd := range cands {
+			if !cd.Perfect() {
+				break // sorted: perfects first by score only if same match counts; scan all instead
+			}
+			if cd.Fault == f {
+				foundSelf = true
+				break
+			}
+		}
+		if !foundSelf {
+			// Scan the full list (equal scores may interleave).
+			for _, cd := range cands {
+				if cd.Fault == f && cd.Perfect() {
+					foundSelf = true
+					break
+				}
+			}
+		}
+		if !foundSelf {
+			t.Fatalf("fault %s not a perfect candidate for its own behaviour", f.String(c))
+		}
+	}
+}
+
+func TestDiagnoseDistinguishesFaults(t *testing.T) {
+	c, flist, d := buildC17Dictionary(t)
+	_ = c
+	// Count faults with unique behaviour: their top candidate list has a
+	// single perfect entry. c17's collapsed faults are largely
+	// distinguishable under exhaustive patterns.
+	unique := 0
+	for _, f := range flist {
+		obs, _ := d.ObservationFor(f)
+		perfect := 0
+		for _, cd := range d.Diagnose(obs) {
+			if cd.Perfect() {
+				perfect++
+			}
+		}
+		if perfect == 1 {
+			unique++
+		}
+	}
+	if unique < len(flist)/2 {
+		t.Errorf("only %d of %d faults uniquely diagnosable", unique, len(flist))
+	}
+}
+
+func TestDiagnoseNoiseTolerance(t *testing.T) {
+	c, flist, d := buildC17Dictionary(t)
+	f := flist[0]
+	obs, _ := d.ObservationFor(f)
+	// Remove one observed failure (intermittent behaviour): the fault
+	// should still rank at or near the top with one Extra.
+	for k, outs := range obs {
+		if len(outs) > 0 {
+			obs[k] = outs[1:]
+			break
+		}
+	}
+	cands := d.Diagnose(obs)
+	for _, cd := range cands[:minInt(3, len(cands))] {
+		if cd.Fault == f {
+			return
+		}
+	}
+	t.Errorf("fault %s fell out of the top 3 after one dropped failure", f.String(c))
+}
+
+func TestDiagnoseEmptyObservation(t *testing.T) {
+	_, _, d := buildC17Dictionary(t)
+	if got := d.Diagnose(Observation{}); len(got) != 0 {
+		t.Errorf("empty observation produced %d candidates", len(got))
+	}
+	// Out-of-range observation keys are ignored.
+	if got := d.Diagnose(Observation{99: []int{0}, 0: []int{55}}); len(got) != 0 {
+		t.Errorf("out-of-range observation produced %d candidates", len(got))
+	}
+}
+
+func TestObservationForUnknownFault(t *testing.T) {
+	c, _, d := buildC17Dictionary(t)
+	bogus := faults.Fault{Gate: netlist.GateID(c.NumGates() - 1), Pin: 7, Stuck: logic.One}
+	if _, err := d.ObservationFor(bogus); err == nil {
+		t.Error("unknown fault accepted")
+	}
+}
+
+func TestPassFailSignature(t *testing.T) {
+	_, flist, d := buildC17Dictionary(t)
+	for fi := range flist {
+		sig := d.PassFailSignature(fi)
+		// Signatures are sorted unique pattern indices.
+		for i := 1; i < len(sig); i++ {
+			if sig[i-1] >= sig[i] {
+				t.Fatalf("fault %d: signature not strictly increasing", fi)
+			}
+		}
+		if len(sig) == 0 {
+			t.Fatalf("fault %d undetected by exhaustive patterns", fi)
+		}
+	}
+}
+
+func TestDictionaryWithATPGPatterns(t *testing.T) {
+	// The compact ATPG set (not exhaustive) must still self-diagnose with
+	// perfect top candidates.
+	c, err := netlist.ParseBenchString("c17", c17Bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flist := faults.CollapsedUniverse(c)
+	res := atpg.Generate(c, atpg.DefaultOptions())
+	d, err := Build(c, res.Patterns, flist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flist[:8] {
+		obs, _ := d.ObservationFor(f)
+		cands := d.Diagnose(obs)
+		if len(cands) == 0 || !cands[0].Perfect() {
+			t.Fatalf("fault %s: imperfect diagnosis on ATPG patterns", f.String(c))
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,235 @@
+// Package faults implements the single stuck-at fault model used by ATPG and
+// fault simulation: fault universe enumeration over gate output stems and
+// fanout branches, and classical structural equivalence collapsing.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// StemPin marks a fault on a gate's output stem (as opposed to one of its
+// input branch pins).
+const StemPin = -1
+
+// Fault is a single stuck-at fault on a circuit line. Pin == StemPin places
+// the fault on the output of Gate; Pin >= 0 places it on the Pin-th input
+// branch of Gate (meaningful when the driving net has fanout > 1).
+type Fault struct {
+	Gate  netlist.GateID
+	Pin   int
+	Stuck logic.V // Zero or One
+}
+
+// String renders the fault with net names resolved against c.
+func (f Fault) String(c *netlist.Circuit) string {
+	g := c.Gate(f.Gate)
+	if f.Pin == StemPin {
+		return fmt.Sprintf("%s/SA%s", g.Name, f.Stuck)
+	}
+	drv := c.Gate(g.Fanin[f.Pin])
+	return fmt.Sprintf("%s->%s.%d/SA%s", drv.Name, g.Name, f.Pin, f.Stuck)
+}
+
+// Less imposes a deterministic total order on faults.
+func (f Fault) Less(o Fault) bool {
+	if f.Gate != o.Gate {
+		return f.Gate < o.Gate
+	}
+	if f.Pin != o.Pin {
+		return f.Pin < o.Pin
+	}
+	return f.Stuck < o.Stuck
+}
+
+// Universe enumerates the full structural stuck-at fault list of c:
+//
+//   - both polarities on every gate output stem (including primary inputs
+//     and DFF outputs, which are the scan-controllable lines), and
+//   - both polarities on every gate input pin whose driving net has
+//     fanout greater than one (fanout branches).
+//
+// Input pins on single-fanout nets are structurally identical to the driver
+// stem and are not enumerated separately. The result is sorted.
+func Universe(c *netlist.Circuit) []Fault {
+	if !c.Finalized() {
+		panic("faults: circuit not finalized")
+	}
+	var fs []Fault
+	for id := netlist.GateID(0); int(id) < c.NumGates(); id++ {
+		g := c.Gate(id)
+		// Stem faults on every driven net that somebody observes: skip
+		// nets with no fanout that are not outputs (dangling); they are
+		// untestable by construction and would pollute coverage.
+		if len(c.Fanout(id)) > 0 || isOutput(c, id) {
+			fs = append(fs, Fault{id, StemPin, logic.Zero}, Fault{id, StemPin, logic.One})
+		}
+		for pin, drv := range g.Fanin {
+			if len(c.Fanout(drv)) > 1 {
+				fs = append(fs, Fault{id, pin, logic.Zero}, Fault{id, pin, logic.One})
+			}
+		}
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Less(fs[j]) })
+	return fs
+}
+
+func isOutput(c *netlist.Circuit, id netlist.GateID) bool {
+	for _, o := range c.Outputs() {
+		if o == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Collapse partitions the fault list into structural equivalence classes and
+// returns one representative per class (sorted), plus the mapping from every
+// fault to its class representative.
+//
+// The rules are the classical ones:
+//
+//	BUF:  in SA-v        ≡ out SA-v
+//	NOT:  in SA-v        ≡ out SA-(¬v)
+//	AND:  any in SA-0    ≡ out SA-0
+//	NAND: any in SA-0    ≡ out SA-1
+//	OR:   any in SA-1    ≡ out SA-1
+//	NOR:  any in SA-1    ≡ out SA-0
+//	DFF:  in SA-v        ≡ out SA-v is NOT applied: in full-scan testing the
+//	      DFF input and output lie in different capture frames.
+//
+// plus the wiring rule: a branch-pin fault on a single-fanout net is the
+// same line as the driver stem (Universe already avoids enumerating those,
+// so the wiring rule here instead folds a gate input fault on a
+// single-fanout line into the driver's stem fault).
+func Collapse(c *netlist.Circuit, fs []Fault) (reps []Fault, classOf map[Fault]Fault) {
+	idx := make(map[Fault]int, len(fs))
+	for i, f := range fs {
+		idx[f] = i
+	}
+	uf := newUnionFind(len(fs))
+
+	union := func(a, b Fault) {
+		ia, oka := idx[a]
+		ib, okb := idx[b]
+		if oka && okb {
+			uf.union(ia, ib)
+		}
+	}
+
+	for id := netlist.GateID(0); int(id) < c.NumGates(); id++ {
+		g := c.Gate(id)
+		if !g.Type.Combinational() {
+			continue
+		}
+		for pin, drv := range g.Fanin {
+			// The fault "as seen at this gate input": a branch fault if
+			// the driver has fanout > 1, else the driver's stem fault.
+			inFault := func(v logic.V) Fault {
+				if len(c.Fanout(drv)) > 1 {
+					return Fault{id, pin, v}
+				}
+				return Fault{drv, StemPin, v}
+			}
+			switch g.Type {
+			case netlist.Buf:
+				union(inFault(logic.Zero), Fault{id, StemPin, logic.Zero})
+				union(inFault(logic.One), Fault{id, StemPin, logic.One})
+			case netlist.Not:
+				union(inFault(logic.Zero), Fault{id, StemPin, logic.One})
+				union(inFault(logic.One), Fault{id, StemPin, logic.Zero})
+			case netlist.And:
+				union(inFault(logic.Zero), Fault{id, StemPin, logic.Zero})
+			case netlist.Nand:
+				union(inFault(logic.Zero), Fault{id, StemPin, logic.One})
+			case netlist.Or:
+				union(inFault(logic.One), Fault{id, StemPin, logic.One})
+			case netlist.Nor:
+				union(inFault(logic.One), Fault{id, StemPin, logic.Zero})
+			}
+		}
+	}
+
+	// Deterministic representative: the smallest fault in each class.
+	minOf := make(map[int]int) // root -> index of minimal fault
+	for i := range fs {
+		r := uf.find(i)
+		if m, ok := minOf[r]; !ok || fs[i].Less(fs[m]) {
+			minOf[r] = i
+		}
+	}
+	classOf = make(map[Fault]Fault, len(fs))
+	for i, f := range fs {
+		classOf[f] = fs[minOf[uf.find(i)]]
+	}
+	seen := make(map[Fault]bool, len(minOf))
+	for _, m := range minOf {
+		if !seen[fs[m]] {
+			seen[fs[m]] = true
+			reps = append(reps, fs[m])
+		}
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i].Less(reps[j]) })
+	return reps, classOf
+}
+
+// CollapsedUniverse is the common composition: Universe followed by Collapse,
+// returning only the representatives.
+func CollapsedUniverse(c *netlist.Circuit) []Fault {
+	reps, _ := Collapse(c, Universe(c))
+	return reps
+}
+
+// InCone filters fs down to the faults whose site lies inside the given
+// cone (the site gate, for branch faults the gate holding the pin).
+func InCone(fs []Fault, cone *netlist.Cone) []Fault {
+	in := make(map[netlist.GateID]bool, len(cone.Gates))
+	for _, g := range cone.Gates {
+		in[g] = true
+	}
+	var out []Fault
+	for _, f := range fs {
+		if in[f.Gate] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// unionFind is a plain weighted quick-union with path halving.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}

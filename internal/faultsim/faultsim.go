@@ -1,0 +1,359 @@
+// Package faultsim implements stuck-at fault simulation over full-scan
+// circuits: a 64-way bit-parallel engine with fault dropping (the workhorse
+// behind ATPG and coverage reporting) and a slow serial reference
+// implementation used to cross-check it in tests.
+package faultsim
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Undetected marks a fault with no detecting pattern.
+const Undetected = -1
+
+// Result reports the outcome of simulating a pattern set against a fault
+// list. Faults and DetectedBy are parallel: DetectedBy[i] is the index of
+// the first pattern detecting Faults[i], or Undetected.
+type Result struct {
+	Faults      []faults.Fault
+	DetectedBy  []int
+	NumDetected int
+}
+
+// Coverage returns the fault coverage in [0, 1]; 1 for an empty fault list.
+func (r *Result) Coverage() float64 {
+	if len(r.Faults) == 0 {
+		return 1
+	}
+	return float64(r.NumDetected) / float64(len(r.Faults))
+}
+
+// UndetectedFaults returns the faults with no detecting pattern.
+func (r *Result) UndetectedFaults() []faults.Fault {
+	var out []faults.Fault
+	for i, d := range r.DetectedBy {
+		if d == Undetected {
+			out = append(out, r.Faults[i])
+		}
+	}
+	return out
+}
+
+// Simulate runs the pattern set against the fault list with fault dropping
+// and returns the per-fault first detection.
+func Simulate(c *netlist.Circuit, patterns []logic.Cube, flist []faults.Fault) *Result {
+	e := NewEngine(c, flist)
+	e.Apply(patterns)
+	return e.Result()
+}
+
+// Engine is an incremental fault simulator: patterns are fed in batches via
+// Apply, detected faults are dropped, and Remaining reports the survivors.
+// ATPG drives an Engine pattern by pattern.
+type Engine struct {
+	c    *netlist.Circuit
+	psim *sim.PSim
+
+	flist      []faults.Fault
+	detectedBy []int // parallel to flist
+	remaining  []int // indices into flist still undetected
+	nDetected  int
+	nPatterns  int
+
+	good  []uint64 // good-circuit words of the current batch
+	fw    []uint64 // faulty words (epoch-validated)
+	epoch []uint32
+	cur   uint32
+
+	ppos    []netlist.GateID
+	dffPPO  map[netlist.GateID][]int // DFF gate -> indices in ppo frame
+	scratch []uint64
+}
+
+// NewEngine returns an engine over the given collapsed fault list.
+func NewEngine(c *netlist.Circuit, flist []faults.Fault) *Engine {
+	if !c.Finalized() {
+		panic("faultsim: circuit not finalized")
+	}
+	e := &Engine{
+		c:          c,
+		psim:       sim.NewPSim(c),
+		flist:      flist,
+		detectedBy: make([]int, len(flist)),
+		good:       make([]uint64, c.NumGates()),
+		fw:         make([]uint64, c.NumGates()),
+		epoch:      make([]uint32, c.NumGates()),
+		ppos:       c.PseudoOutputs(),
+		dffPPO:     make(map[netlist.GateID][]int),
+	}
+	for i := range e.detectedBy {
+		e.detectedBy[i] = Undetected
+		e.remaining = append(e.remaining, i)
+	}
+	// Map each DFF to the response-frame positions it captures, for
+	// branch faults on DFF data pins.
+	outs := len(c.Outputs())
+	for i, d := range c.DFFs() {
+		e.dffPPO[d] = append(e.dffPPO[d], outs+i)
+	}
+	return e
+}
+
+// NumPatterns returns the number of patterns applied so far.
+func (e *Engine) NumPatterns() int { return e.nPatterns }
+
+// DetectedCount returns the number of faults detected so far.
+func (e *Engine) DetectedCount() int { return e.nDetected }
+
+// Coverage returns current fault coverage in [0, 1].
+func (e *Engine) Coverage() float64 {
+	if len(e.flist) == 0 {
+		return 1
+	}
+	return float64(e.nDetected) / float64(len(e.flist))
+}
+
+// Remaining returns the still-undetected faults (a fresh slice).
+func (e *Engine) Remaining() []faults.Fault {
+	out := make([]faults.Fault, 0, len(e.remaining))
+	for _, i := range e.remaining {
+		out = append(out, e.flist[i])
+	}
+	return out
+}
+
+// Result snapshots the engine state into a Result.
+func (e *Engine) Result() *Result {
+	return &Result{
+		Faults:      e.flist,
+		DetectedBy:  append([]int(nil), e.detectedBy...),
+		NumDetected: e.nDetected,
+	}
+}
+
+// Apply fault-simulates the given patterns (any count; they are batched 64
+// at a time) and returns how many previously-undetected faults they detect.
+// Patterns with X bits are simulated with X loaded as 0, matching the
+// deterministic X-fill convention of the ATPG.
+func (e *Engine) Apply(patterns []logic.Cube) int {
+	newly := 0
+	for off := 0; off < len(patterns); off += sim.WordBits {
+		end := off + sim.WordBits
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		newly += e.applyBatch(patterns[off:end], e.nPatterns+off)
+	}
+	e.nPatterns += len(patterns)
+	return newly
+}
+
+func (e *Engine) applyBatch(batch []logic.Cube, baseIndex int) int {
+	if len(e.remaining) == 0 {
+		return 0
+	}
+	e.psim.Load(batch)
+	e.psim.Run()
+	for id := 0; id < e.c.NumGates(); id++ {
+		e.good[id] = e.psim.Word(netlist.GateID(id))
+	}
+	mask := e.psim.Mask()
+
+	newly := 0
+	keep := e.remaining[:0]
+	for _, fi := range e.remaining {
+		det := e.detectWord(e.flist[fi], mask)
+		if det == 0 {
+			keep = append(keep, fi)
+			continue
+		}
+		// First detecting pattern = lowest set bit.
+		k := 0
+		for det&1 == 0 {
+			det >>= 1
+			k++
+		}
+		e.detectedBy[fi] = baseIndex + k
+		e.nDetected++
+		newly++
+	}
+	e.remaining = keep
+	return newly
+}
+
+// detectWord computes the detection word of one fault for the loaded batch:
+// bit k set iff pattern k detects the fault at any pseudo output.
+func (e *Engine) detectWord(f faults.Fault, mask uint64) uint64 {
+	return e.detectWordDetail(f, mask, nil)
+}
+
+// detectWordDetail is detectWord with an optional per-output capture:
+// when perPPO is non-nil (length = pseudo-output frame), perPPO[i] receives
+// the word of patterns failing at output i.
+func (e *Engine) detectWordDetail(f faults.Fault, mask uint64, perPPO []uint64) uint64 {
+	stuck := uint64(0)
+	if f.Stuck == logic.One {
+		stuck = ^uint64(0)
+	}
+
+	g := e.c.Gate(f.Gate)
+	if f.Pin != faults.StemPin && g.Type == netlist.DFF {
+		// Branch fault on a DFF data pin: the captured value is stuck;
+		// detection is any pattern where the good driver value differs.
+		drv := g.Fanin[f.Pin]
+		det := (e.good[drv] ^ stuck) & mask
+		if perPPO != nil {
+			if pos, ok := e.dffPPO[f.Gate]; ok {
+				for _, p := range pos {
+					perPPO[p] = det
+				}
+			}
+		}
+		return det
+	}
+
+	e.cur++
+	if e.cur == 0 { // epoch wrapped: reset
+		for i := range e.epoch {
+			e.epoch[i] = 0
+		}
+		e.cur = 1
+	}
+
+	var site netlist.GateID
+	if f.Pin == faults.StemPin {
+		site = f.Gate
+		e.fw[site] = stuck
+		e.epoch[site] = e.cur
+	} else {
+		// Branch fault: recompute gate f.Gate with pin forced.
+		site = f.Gate
+		e.fw[site] = e.evalWithPin(g, f.Pin, stuck)
+		e.epoch[site] = e.cur
+	}
+	if e.fw[site] == e.good[site] {
+		// The fault never changes the site value for this batch — but a
+		// stem stuck fault still differs wherever good != stuck; that IS
+		// fw != good. Equal means undetectable in this batch.
+		return 0
+	}
+
+	// Propagate through the topological order. The site keeps its injected
+	// value, and gates at or below the site's level cannot be downstream
+	// of it, so both are skipped.
+	siteLevel := e.c.Level(site)
+	for _, id := range e.c.TopoOrder() {
+		if id == site || e.c.Level(id) <= siteLevel {
+			continue
+		}
+		gg := e.c.Gate(id)
+		touched := false
+		for _, fin := range gg.Fanin {
+			if e.epoch[fin] == e.cur {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		if cap(e.scratch) < len(gg.Fanin) {
+			e.scratch = make([]uint64, len(gg.Fanin))
+		}
+		in := e.scratch[:len(gg.Fanin)]
+		for j, fin := range gg.Fanin {
+			if e.epoch[fin] == e.cur {
+				in[j] = e.fw[fin]
+			} else {
+				in[j] = e.good[fin]
+			}
+		}
+		v := sim.EvalGateWord(gg.Type, in)
+		if v != e.good[id] {
+			e.fw[id] = v
+			e.epoch[id] = e.cur
+		}
+	}
+
+	// Detection: any pseudo output whose faulty word differs from good.
+	// PseudoOutputs holds driver gates, so a directly observed site (a PO
+	// or a gate feeding a DFF) is covered by the same comparison.
+	var det uint64
+	for i, id := range e.ppos {
+		if e.epoch[id] == e.cur {
+			d := (e.fw[id] ^ e.good[id]) & mask
+			det |= d
+			if perPPO != nil {
+				perPPO[i] = d
+			}
+		}
+	}
+	return det & mask
+}
+
+// evalWithPin recomputes gate g with fanin pin forced to the given word and
+// all other fanins at their good values.
+func (e *Engine) evalWithPin(g *netlist.Gate, pin int, forced uint64) uint64 {
+	if cap(e.scratch) < len(g.Fanin) {
+		e.scratch = make([]uint64, len(g.Fanin))
+	}
+	in := e.scratch[:len(g.Fanin)]
+	for j, fin := range g.Fanin {
+		if j == pin {
+			in[j] = forced
+		} else {
+			in[j] = e.good[fin]
+		}
+	}
+	if !g.Type.Combinational() {
+		panic(fmt.Sprintf("faultsim: branch fault on non-combinational gate %v", g.Type))
+	}
+	return sim.EvalGateWord(g.Type, in)
+}
+
+// FailingPositions runs the fault against the pattern set and returns, per
+// failing pattern index, the pseudo-output positions that miscompare — the
+// full-response dictionary column of the fault. It uses the bit-parallel
+// engine, so building whole-core dictionaries stays fast.
+func FailingPositions(c *netlist.Circuit, patterns []logic.Cube, f faults.Fault) map[int][]int {
+	e := NewEngine(c, []faults.Fault{f})
+	out := make(map[int][]int)
+	perPPO := make([]uint64, len(e.ppos))
+	for off := 0; off < len(patterns); off += sim.WordBits {
+		end := off + sim.WordBits
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		e.psim.Load(patterns[off:end])
+		e.psim.Run()
+		for id := 0; id < e.c.NumGates(); id++ {
+			e.good[id] = e.psim.Word(netlist.GateID(id))
+		}
+		for i := range perPPO {
+			perPPO[i] = 0
+		}
+		e.detectWordDetail(f, e.psim.Mask(), perPPO)
+		for i, w := range perPPO {
+			for w != 0 {
+				k := trailingZeros(w)
+				w &^= 1 << uint(k)
+				out[off+k] = append(out[off+k], i)
+			}
+		}
+	}
+	return out
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

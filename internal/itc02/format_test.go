@@ -1,0 +1,134 @@
+package itc02
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRoundTripP34392(t *testing.T) {
+	orig := P34392()
+	text := SOCString(orig)
+	re, err := ParseSOCString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if re.Name != orig.Name || re.TMono != orig.TMono {
+		t.Error("header lost in round trip")
+	}
+	if re.TDVModular() != orig.TDVModular() {
+		t.Errorf("modular TDV changed: %d vs %d", re.TDVModular(), orig.TDVModular())
+	}
+	if re.TDVMonoOpt() != orig.TDVMonoOpt() {
+		t.Errorf("opt TDV changed: %d vs %d", re.TDVMonoOpt(), orig.TDVMonoOpt())
+	}
+	if len(re.Modules()) != len(orig.Modules()) {
+		t.Errorf("module count changed: %d vs %d", len(re.Modules()), len(orig.Modules()))
+	}
+}
+
+func TestRoundTripAllSynthesized(t *testing.T) {
+	all, err := AllSOCs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range all {
+		re, err := ParseSOCString(SOCString(s))
+		if err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+			continue
+		}
+		if re.TDVModular() != s.TDVModular() || re.Penalty() != s.Penalty() {
+			t.Errorf("%s: TDV changed in round trip", s.Name)
+		}
+	}
+}
+
+func TestParseTesterAccessAndComments(t *testing.T) {
+	src := `
+# a comment
+soc mini
+tmono 42   # trailing comment
+module Top i 5 o 3 b 0 s 0 t 2 children A,B testeraccess
+module A i 4 o 4 b 1 s 10 t 100
+module B i 2 o 2 b 0 s 5 t 50
+top Top
+`
+	s, err := ParseSOCString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "mini" || s.TMono != 42 {
+		t.Errorf("header: %s/%d", s.Name, s.TMono)
+	}
+	if !s.Top.PortsTesterAccessible {
+		t.Error("testeraccess flag lost")
+	}
+	if len(s.Top.Children) != 2 {
+		t.Errorf("children = %d", len(s.Top.Children))
+	}
+	if s.Top.Children[0].Name != "A" || s.Top.Children[0].Bidirs != 1 {
+		t.Error("child A params wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no top", "soc x\nmodule A i 1 o 1 b 0 s 0 t 1"},
+		{"unknown top", "soc x\nmodule A i 1 o 1 b 0 s 0 t 1\ntop Z"},
+		{"unknown directive", "soc x\nfrobnicate"},
+		{"bad tmono", "soc x\ntmono -3\nmodule A t 1\ntop A"},
+		{"tmono junk", "soc x\ntmono many\nmodule A t 1\ntop A"},
+		{"duplicate module", "soc x\nmodule A t 1\nmodule A t 2\ntop A"},
+		{"unknown child", "soc x\nmodule A t 1 children B\ntop A"},
+		{"double embed", "soc x\nmodule A t 1 children C\nmodule B t 1 children C\nmodule C t 1\ntop A"},
+		{"orphan", "soc x\nmodule A t 1\nmodule B t 1\ntop A"},
+		{"top embedded", "soc x\nmodule A t 1 children B\nmodule B t 1\ntop B"},
+		{"missing value", "soc x\nmodule A i\ntop A"},
+		{"unknown key", "soc x\nmodule A q 4\ntop A"},
+		{"negative value", "soc x\nmodule A i -2\ntop A"},
+		{"module no name", "soc x\nmodule"},
+		{"bad soc line", "soc"},
+		{"bad top line", "soc x\nmodule A t 1\ntop"},
+		{"self cycle", "soc x\nmodule A t 1 children A\ntop A"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseSOCString(tc.src); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestWriteIsDeterministic(t *testing.T) {
+	s := P34392()
+	if SOCString(s) != SOCString(s) {
+		t.Error("SOCString not deterministic")
+	}
+	if !strings.Contains(SOCString(s), "module Core10 i 29") {
+		t.Error("core 10 correction missing from output")
+	}
+}
+
+func TestGoldenP34392File(t *testing.T) {
+	f, err := os.Open("testdata/p34392.soc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := ParseSOC(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := P34392()
+	if s.TDVModular() != want.TDVModular() {
+		t.Errorf("golden modular TDV %d != embedded %d", s.TDVModular(), want.TDVModular())
+	}
+	if s.TDVMonoOpt() != want.TDVMonoOpt() {
+		t.Errorf("golden opt TDV %d != embedded %d", s.TDVMonoOpt(), want.TDVMonoOpt())
+	}
+	if SOCString(s) != SOCString(want) {
+		t.Error("golden file no longer matches the embedded profile; regenerate with 'go run ./cmd/itc02x -emit p34392'")
+	}
+}

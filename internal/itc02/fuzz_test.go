@@ -1,0 +1,33 @@
+package itc02
+
+import "testing"
+
+// FuzzParseSOC exercises the SOC description parser: no panics; successful
+// parses round trip through the writer with identical TDV results.
+func FuzzParseSOC(f *testing.F) {
+	f.Add("soc x\nmodule A i 1 o 2 b 0 s 3 t 4\ntop A\n")
+	f.Add(SOCString(P34392()))
+	f.Add("soc y\ntmono 10\nmodule T children A testeraccess\nmodule A t 5 s 9\ntop T\n")
+	f.Add("# nothing\n")
+	f.Add("soc z\nmodule A t 1 children A\ntop A\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseSOCString(src)
+		if err != nil {
+			return
+		}
+		text := SOCString(s)
+		re, err := ParseSOCString(text)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, text)
+		}
+		if re.TDVModular() != s.TDVModular() || re.TDVMonoOpt() != s.TDVMonoOpt() {
+			t.Fatal("round trip changed TDV")
+		}
+		if re.Penalty() != s.Penalty() {
+			t.Fatal("round trip changed penalty")
+		}
+		if len(re.Modules()) != len(s.Modules()) {
+			t.Fatal("round trip changed module count")
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package lfsr implements linear-feedback shift registers and multiple-
+// input signature registers over GF(2) — the on-chip pattern source and
+// response sink of built-in self-test, the alternative to ATE-delivered
+// test data that the paper's reference architecture [1] names ("a test
+// pattern source and sink, either off-chip (ATE) or on-chip (BIST)").
+//
+// The package supports LFSR state stepping, pseudo-random pattern
+// expansion for scan loading, MISR response compaction, and the GF(2)
+// state-transition matrices that package compress uses to solve for seeds.
+package lfsr
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// LFSR is a Fibonacci linear-feedback shift register of up to 64 bits:
+// state bit 0 is the output; feedback is the XOR of the tap positions.
+type LFSR struct {
+	n     int
+	taps  uint64 // tap mask; bit i set means state bit i feeds back
+	state uint64
+}
+
+// Maximal-length tap masks for the right-shift Fibonacci form used here
+// (feedback = parity(state & taps) into the top bit). Tap position i in
+// the mask corresponds to exponent n−i of the characteristic polynomial;
+// the masks below come from the standard (n, ...) tap tables:
+// 8: (8,6,5,4), 16: (16,14,13,11), 24: (24,23,22,17), 32: (32,22,2,1).
+var primitiveTaps = map[int]uint64{
+	8:  1 | 1<<2 | 1<<3 | 1<<4,
+	16: 1 | 1<<2 | 1<<3 | 1<<5,
+	24: 1 | 1<<1 | 1<<2 | 1<<7,
+	32: 1 | 1<<10 | 1<<30 | 1<<31,
+	64: 1 | 1<<1 | 1<<3 | 1<<4, // (64,63,61,60)
+}
+
+// New returns an n-bit LFSR with the given tap mask and a nonzero default
+// seed of 1.
+func New(n int, taps uint64) (*LFSR, error) {
+	if n < 2 || n > 64 {
+		return nil, fmt.Errorf("lfsr: width %d out of range 2..64", n)
+	}
+	if taps == 0 {
+		return nil, fmt.Errorf("lfsr: empty tap mask")
+	}
+	if n < 64 && taps >= 1<<uint(n) {
+		return nil, fmt.Errorf("lfsr: tap mask %#x exceeds width %d", taps, n)
+	}
+	return &LFSR{n: n, taps: taps, state: 1}, nil
+}
+
+// NewPrimitive returns a maximal-length LFSR for the supported widths
+// (8, 16, 24, 32, 64).
+func NewPrimitive(n int) (*LFSR, error) {
+	taps, ok := PrimitiveTaps(n)
+	if !ok {
+		return nil, fmt.Errorf("lfsr: no built-in primitive polynomial for width %d", n)
+	}
+	return New(n, taps)
+}
+
+// PrimitiveTaps returns the built-in maximal-length tap mask for the
+// supported widths (8, 16, 24, 32, 64), and whether one exists. Symbolic tools (package
+// compress) use it to mirror the exact feedback structure.
+func PrimitiveTaps(n int) (uint64, bool) {
+	taps, ok := primitiveTaps[n]
+	return taps, ok
+}
+
+// Width returns the register width.
+func (l *LFSR) Width() int { return l.n }
+
+// Seed sets the state; a zero seed is rejected (the all-zero state is the
+// LFSR's fixed point).
+func (l *LFSR) Seed(s uint64) error {
+	if l.n < 64 {
+		s &= (1 << uint(l.n)) - 1
+	}
+	if s == 0 {
+		return fmt.Errorf("lfsr: zero seed is degenerate")
+	}
+	l.state = s
+	return nil
+}
+
+// State returns the current state.
+func (l *LFSR) State() uint64 { return l.state }
+
+// Step advances the register one cycle and returns the output bit (the
+// bit shifted out of position 0).
+func (l *LFSR) Step() uint64 {
+	out := l.state & 1
+	fb := parity(l.state & l.taps)
+	l.state >>= 1
+	l.state |= fb << uint(l.n-1)
+	return out
+}
+
+// Pattern expands the next len(frame) output bits into a fully specified
+// cube — one pseudo-random scan load.
+func (l *LFSR) Pattern(width int) logic.Cube {
+	c := make(logic.Cube, width)
+	for i := range c {
+		c[i] = logic.FromBool(l.Step() == 1)
+	}
+	return c
+}
+
+// Period steps the register from its current state until the state
+// recurs, up to limit steps, and returns the period (0 if limit was hit).
+// Intended for tests on small widths.
+func (l *LFSR) Period(limit int) int {
+	start := l.state
+	for i := 1; i <= limit; i++ {
+		l.Step()
+		if l.state == start {
+			return i
+		}
+	}
+	return 0
+}
+
+func parity(x uint64) uint64 {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}
+
+// MISR is a multiple-input signature register: it compacts response
+// vectors into an n-bit signature with the same feedback structure.
+type MISR struct {
+	lfsr *LFSR
+}
+
+// NewMISR returns an n-bit MISR with a built-in primitive polynomial.
+func NewMISR(n int) (*MISR, error) {
+	l, err := NewPrimitive(n)
+	if err != nil {
+		return nil, err
+	}
+	l.state = 0 // a MISR legitimately starts at zero
+	return &MISR{lfsr: l}, nil
+}
+
+// Absorb folds a response cube into the signature, WordBits at a time:
+// each cycle the register shifts and XORs one response bit into the top.
+// X bits absorb as 0 (unknown masking is the caller's concern).
+func (m *MISR) Absorb(response logic.Cube) {
+	l := m.lfsr
+	for _, v := range response {
+		fb := parity(l.state & l.taps)
+		bit := uint64(0)
+		if v == logic.One {
+			bit = 1
+		}
+		l.state >>= 1
+		l.state |= (fb ^ bit) << uint(l.n-1)
+	}
+}
+
+// Signature returns the current signature.
+func (m *MISR) Signature() uint64 { return m.lfsr.state }
+
+// Reset clears the signature.
+func (m *MISR) Reset() { m.lfsr.state = 0 }

@@ -1,0 +1,158 @@
+package lfsr
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 1); err == nil {
+		t.Error("width 1 accepted")
+	}
+	if _, err := New(65, 1); err == nil {
+		t.Error("width 65 accepted")
+	}
+	if _, err := New(8, 0); err == nil {
+		t.Error("empty taps accepted")
+	}
+	if _, err := New(8, 1<<9); err == nil {
+		t.Error("oversized taps accepted")
+	}
+	if _, err := NewPrimitive(13); err == nil {
+		t.Error("unsupported primitive width accepted")
+	}
+}
+
+func TestSeedValidation(t *testing.T) {
+	l, err := NewPrimitive(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Seed(0); err == nil {
+		t.Error("zero seed accepted")
+	}
+	if err := l.Seed(0x1FF); err != nil { // masked to width -> 0xFF
+		t.Errorf("masked seed rejected: %v", err)
+	}
+	if l.State() != 0xFF {
+		t.Errorf("state = %#x, want 0xFF", l.State())
+	}
+}
+
+func TestPrimitivePolynomialsAreMaximalLength(t *testing.T) {
+	// An n-bit maximal LFSR has period 2^n - 1. Verify for 8 and 16 bits.
+	for _, n := range []int{8, 16} {
+		l, err := NewPrimitive(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1<<uint(n) - 1
+		if got := l.Period(want + 1); got != want {
+			t.Errorf("width %d: period %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPatternExpansion(t *testing.T) {
+	l, _ := NewPrimitive(16)
+	if err := l.Seed(0xACE1); err != nil {
+		t.Fatal(err)
+	}
+	p := l.Pattern(40)
+	if len(p) != 40 {
+		t.Fatalf("pattern length %d", len(p))
+	}
+	if p.Specified() != 40 {
+		t.Error("pattern must be fully specified")
+	}
+	// Deterministic: same seed, same pattern.
+	l2, _ := NewPrimitive(16)
+	l2.Seed(0xACE1)
+	if l2.Pattern(40).String() != p.String() {
+		t.Error("expansion not deterministic")
+	}
+	// Different seed, different pattern (overwhelmingly).
+	l3, _ := NewPrimitive(16)
+	l3.Seed(0x1234)
+	if l3.Pattern(40).String() == p.String() {
+		t.Error("different seeds produced identical patterns")
+	}
+}
+
+func TestStepOutputMatchesState(t *testing.T) {
+	l, _ := New(8, 1|1<<2|1<<3|1<<4)
+	l.Seed(0b10110101)
+	out := l.Step()
+	if out != 1 {
+		t.Errorf("output = %d, want the old LSB 1", out)
+	}
+}
+
+func TestMISRSignatures(t *testing.T) {
+	m, err := NewMISR(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Signature() != 0 {
+		t.Error("fresh MISR signature must be 0")
+	}
+	good, _ := logic.ParseCube("1011001110001111")
+	m.Absorb(good)
+	sigGood := m.Signature()
+	if sigGood == 0 {
+		t.Error("nonzero response must perturb the signature")
+	}
+	// A single-bit error must change the signature (no aliasing for a
+	// single absorb of length <= width).
+	m.Reset()
+	bad := good.Clone()
+	bad[5] = logic.Not(bad[5])
+	m.Absorb(bad)
+	if m.Signature() == sigGood {
+		t.Error("single-bit error aliased")
+	}
+	// Determinism.
+	m.Reset()
+	m.Absorb(good)
+	if m.Signature() != sigGood {
+		t.Error("MISR not deterministic")
+	}
+	if _, err := NewMISR(7); err == nil {
+		t.Error("unsupported MISR width accepted")
+	}
+}
+
+func TestMISRXAbsorbsAsZero(t *testing.T) {
+	m, _ := NewMISR(16)
+	withX, _ := logic.ParseCube("1X1X")
+	zeros, _ := logic.ParseCube("1010")
+	m.Absorb(withX)
+	a := m.Signature()
+	m.Reset()
+	m.Absorb(zeros)
+	if a != m.Signature() {
+		t.Error("X must absorb as 0")
+	}
+}
+
+func TestPeriodLimit(t *testing.T) {
+	l, _ := NewPrimitive(16)
+	if got := l.Period(10); got != 0 {
+		t.Errorf("period within 10 steps = %d, want 0 (limit hit)", got)
+	}
+}
+
+func TestPrimitive24MaximalLength(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16M-step period check skipped in -short mode")
+	}
+	l, err := NewPrimitive(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1<<24 - 1
+	if got := l.Period(want + 1); got != want {
+		t.Errorf("width 24: period %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,165 @@
+package logic
+
+import "strings"
+
+// Cube is a test cube: an assignment of 0, 1 and X (don't care) values to an
+// ordered set of circuit inputs. Cubes are the unit of work for static
+// compaction (Section 3 of the paper): two cubes may be merged into one test
+// pattern exactly when none of their specified bits conflict.
+//
+// Only Zero, One and X are meaningful in a Cube; fault-effect values are
+// never stored in cubes.
+type Cube []V
+
+// NewCube returns a cube of n all-X (fully unspecified) positions.
+func NewCube(n int) Cube {
+	c := make(Cube, n)
+	for i := range c {
+		c[i] = X
+	}
+	return c
+}
+
+// Clone returns an independent copy of c.
+func (c Cube) Clone() Cube {
+	d := make(Cube, len(c))
+	copy(d, c)
+	return d
+}
+
+// Specified returns the number of positions carrying a 0 or 1 (non-X) value.
+func (c Cube) Specified() int {
+	n := 0
+	for _, v := range c {
+		if v.Binary() {
+			n++
+		}
+	}
+	return n
+}
+
+// CareRatio returns the fraction of specified bits, in [0, 1].
+// An empty cube has care ratio 0.
+func (c Cube) CareRatio() float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	return float64(c.Specified()) / float64(len(c))
+}
+
+// Compatible reports whether c and d can be merged: they have equal length
+// and every position is non-conflicting. Two values conflict exactly when
+// both are binary and differ (paper, Section 3: "Non-conflicting values are
+// the same logic values, or different logic values one of which is X").
+func (c Cube) Compatible(d Cube) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i, v := range c {
+		w := d[i]
+		if v.Binary() && w.Binary() && v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge combines c and d into a new cube: at every position the specified
+// value (if any) wins. Merge panics if the cubes are incompatible; callers
+// must check Compatible first.
+func (c Cube) Merge(d Cube) Cube {
+	if len(c) != len(d) {
+		panic("logic: merging cubes of different lengths")
+	}
+	m := make(Cube, len(c))
+	for i, v := range c {
+		w := d[i]
+		switch {
+		case v.Binary() && w.Binary() && v != w:
+			panic("logic: merging conflicting cubes")
+		case v.Binary():
+			m[i] = v
+		case w.Binary():
+			m[i] = w
+		default:
+			m[i] = X
+		}
+	}
+	return m
+}
+
+// MergeInto merges d into c in place (same semantics as Merge).
+func (c Cube) MergeInto(d Cube) {
+	if len(c) != len(d) {
+		panic("logic: merging cubes of different lengths")
+	}
+	for i, w := range d {
+		v := c[i]
+		switch {
+		case v.Binary() && w.Binary() && v != w:
+			panic("logic: merging conflicting cubes")
+		case !v.Binary() && w.Binary():
+			c[i] = w
+		}
+	}
+}
+
+// Covers reports whether every specified bit of d is specified identically
+// in c; i.e. c is at least as specific as d everywhere d cares.
+func (c Cube) Covers(d Cube) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i, w := range d {
+		if w.Binary() && c[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill returns a copy of c with every X replaced by the value produced by
+// fill(i), where i is the bit position. It is used for X-filling compacted
+// cubes into fully specified tester patterns.
+func (c Cube) Fill(fill func(i int) V) Cube {
+	d := c.Clone()
+	for i, v := range d {
+		if v == X {
+			f := fill(i)
+			if !f.Binary() {
+				f = Zero
+			}
+			d[i] = f
+		}
+	}
+	return d
+}
+
+// String renders the cube as a string of 0/1/X characters.
+func (c Cube) String() string {
+	var b strings.Builder
+	b.Grow(len(c))
+	for _, v := range c {
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// ParseCube parses a string of '0', '1', 'X'/'x'/'-' characters into a Cube.
+// It returns false if any other character is present.
+func ParseCube(s string) (Cube, bool) {
+	c := make(Cube, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '0':
+			c = append(c, Zero)
+		case '1':
+			c = append(c, One)
+		case 'X', 'x', '-':
+			c = append(c, X)
+		default:
+			return nil, false
+		}
+	}
+	return c, true
+}

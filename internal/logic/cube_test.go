@@ -1,0 +1,184 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randCube(r *rand.Rand, n int) Cube {
+	c := make(Cube, n)
+	for i := range c {
+		c[i] = []V{Zero, One, X}[r.Intn(3)]
+	}
+	return c
+}
+
+func TestNewCubeIsAllX(t *testing.T) {
+	c := NewCube(7)
+	if len(c) != 7 {
+		t.Fatalf("len = %d, want 7", len(c))
+	}
+	for i, v := range c {
+		if v != X {
+			t.Errorf("position %d = %v, want X", i, v)
+		}
+	}
+	if c.Specified() != 0 || c.CareRatio() != 0 {
+		t.Error("fresh cube should be fully unspecified")
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	c, ok := ParseCube("01X-x1")
+	if !ok {
+		t.Fatal("ParseCube failed")
+	}
+	if got := c.String(); got != "01XXX1" {
+		t.Errorf("String = %q, want 01XXX1", got)
+	}
+	if _, ok := ParseCube("01Q"); ok {
+		t.Error("ParseCube accepted invalid character")
+	}
+}
+
+func TestSpecifiedAndCareRatio(t *testing.T) {
+	c, _ := ParseCube("01XX")
+	if c.Specified() != 2 {
+		t.Errorf("Specified = %d, want 2", c.Specified())
+	}
+	if c.CareRatio() != 0.5 {
+		t.Errorf("CareRatio = %v, want 0.5", c.CareRatio())
+	}
+	var empty Cube
+	if empty.CareRatio() != 0 {
+		t.Error("empty cube care ratio should be 0")
+	}
+}
+
+func TestCompatibleAndMerge(t *testing.T) {
+	a, _ := ParseCube("0X1X")
+	b, _ := ParseCube("X011")
+	if !a.Compatible(b) {
+		t.Fatal("cubes should be compatible")
+	}
+	m := a.Merge(b)
+	if m.String() != "0011" {
+		t.Errorf("Merge = %v, want 0011", m)
+	}
+	// Merge must cover both inputs.
+	if !m.Covers(a) || !m.Covers(b) {
+		t.Error("merged cube must cover both inputs")
+	}
+
+	conflict, _ := ParseCube("1X1X")
+	if a.Compatible(conflict) {
+		t.Error("conflicting cubes reported compatible")
+	}
+	short, _ := ParseCube("0X")
+	if a.Compatible(short) {
+		t.Error("cubes of different length reported compatible")
+	}
+}
+
+func TestMergePanicsOnConflict(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Merge on conflicting cubes did not panic")
+		}
+	}()
+	a, _ := ParseCube("1")
+	b, _ := ParseCube("0")
+	a.Merge(b)
+}
+
+func TestMergeIntoMatchesMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		a := randCube(r, 16)
+		b := randCube(r, 16)
+		if !a.Compatible(b) {
+			continue
+		}
+		want := a.Merge(b)
+		got := a.Clone()
+		got.MergeInto(b)
+		if got.String() != want.String() {
+			t.Fatalf("MergeInto = %v, Merge = %v", got, want)
+		}
+	}
+}
+
+// Property: merging is commutative and monotone in specified bits.
+func TestMergeProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a := randCube(r, 12)
+		b := randCube(r, 12)
+		if !a.Compatible(b) {
+			if b.Compatible(a) {
+				t.Fatal("Compatible not symmetric")
+			}
+			continue
+		}
+		ab := a.Merge(b)
+		ba := b.Merge(a)
+		if ab.String() != ba.String() {
+			t.Fatalf("Merge not commutative: %v vs %v", ab, ba)
+		}
+		if ab.Specified() < a.Specified() || ab.Specified() < b.Specified() {
+			t.Fatal("merge lost specified bits")
+		}
+	}
+}
+
+// Property: Covers is reflexive and antisymmetric up to equality on
+// specified positions; the all-X cube is covered by everything.
+func TestCoversProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		a := randCube(r, 10)
+		if !a.Covers(a) {
+			t.Fatal("Covers not reflexive")
+		}
+		if !a.Covers(NewCube(10)) {
+			t.Fatal("all-X cube should be covered by any cube")
+		}
+	}
+	a, _ := ParseCube("01")
+	b, _ := ParseCube("0X1")
+	if a.Covers(b) {
+		t.Error("Covers across different lengths must be false")
+	}
+}
+
+func TestFill(t *testing.T) {
+	c, _ := ParseCube("0X1X")
+	got := c.Fill(func(i int) V { return One })
+	if got.String() != "0111" {
+		t.Errorf("Fill = %v, want 0111", got)
+	}
+	// Original must be untouched.
+	if c.String() != "0X1X" {
+		t.Error("Fill mutated the receiver")
+	}
+	// Non-binary fill values coerce to Zero.
+	got = c.Fill(func(i int) V { return X })
+	if got.String() != "0010" {
+		t.Errorf("Fill with X = %v, want 0010", got)
+	}
+	if got.Specified() != len(got) {
+		t.Error("filled cube must be fully specified")
+	}
+}
+
+func TestFillPreservesSpecifiedBitsProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randCube(r, 20)
+		f := c.Fill(func(i int) V { return FromBool(r.Intn(2) == 1) })
+		return f.Covers(c) && f.Specified() == len(f)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package logic provides the multi-valued logic algebra used throughout the
+// library: the plain ternary system {0, 1, X} used by logic simulation and
+// test cubes, and Roth's five-valued D-calculus {0, 1, X, D, D̄} used by the
+// PODEM test generator in package atpg.
+//
+// A D-calculus value is conceptually a pair (good, faulty) of ternary values
+// describing the signal in the fault-free and the faulty circuit:
+//
+//	0 = (0,0)   1 = (1,1)   X = (X,X)   D = (1,0)   D̄ = (0,1)
+//
+// All gate evaluation in this package is defined by decomposing a value into
+// its (good, faulty) pair, evaluating the ternary function on both halves,
+// and recomposing. That construction is what the property-based tests in
+// value_test.go verify.
+package logic
+
+import "fmt"
+
+// V is a five-valued logic value.
+type V uint8
+
+// The five values of the D-calculus. Zero and One are also the two binary
+// values; X is the unknown / don't-care value used in test cubes.
+const (
+	Zero V = iota // logic 0 in both the good and the faulty circuit
+	One           // logic 1 in both the good and the faulty circuit
+	X             // unknown in both circuits
+	D             // 1 in the good circuit, 0 in the faulty circuit
+	DBar          // 0 in the good circuit, 1 in the faulty circuit
+	numV
+)
+
+// String returns the conventional single-character spelling of v
+// ("0", "1", "X", "D", "B" for D̄).
+func (v V) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "X"
+	case D:
+		return "D"
+	case DBar:
+		return "B"
+	}
+	return fmt.Sprintf("V(%d)", uint8(v))
+}
+
+// Valid reports whether v is one of the five defined logic values.
+func (v V) Valid() bool { return v < numV }
+
+// Binary reports whether v is a fully specified non-faulty value (0 or 1).
+func (v V) Binary() bool { return v == Zero || v == One }
+
+// Faulty reports whether v carries a fault effect (D or D̄).
+func (v V) Faulty() bool { return v == D || v == DBar }
+
+// Good returns the ternary value of v in the fault-free circuit.
+func (v V) Good() V {
+	switch v {
+	case D:
+		return One
+	case DBar:
+		return Zero
+	default:
+		return v
+	}
+}
+
+// Bad returns the ternary value of v in the faulty circuit.
+func (v V) Bad() V {
+	switch v {
+	case D:
+		return Zero
+	case DBar:
+		return One
+	default:
+		return v
+	}
+}
+
+// compose builds a five-valued value from a (good, faulty) ternary pair.
+// Any pair containing X collapses to X: once either circuit is unknown the
+// combined value carries no usable fault information.
+func compose(good, bad V) V {
+	if good == X || bad == X {
+		return X
+	}
+	switch {
+	case good == Zero && bad == Zero:
+		return Zero
+	case good == One && bad == One:
+		return One
+	case good == One && bad == Zero:
+		return D
+	default: // good == Zero && bad == One
+		return DBar
+	}
+}
+
+// not3 is ternary negation.
+func not3(v V) V {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	default:
+		return X
+	}
+}
+
+// and3 is ternary conjunction: 0 is dominant, X otherwise unless both are 1.
+func and3(a, b V) V {
+	if a == Zero || b == Zero {
+		return Zero
+	}
+	if a == One && b == One {
+		return One
+	}
+	return X
+}
+
+// or3 is ternary disjunction: 1 is dominant, X otherwise unless both are 0.
+func or3(a, b V) V {
+	if a == One || b == One {
+		return One
+	}
+	if a == Zero && b == Zero {
+		return Zero
+	}
+	return X
+}
+
+// xor3 is ternary exclusive-or; any X input yields X.
+func xor3(a, b V) V {
+	if a == X || b == X {
+		return X
+	}
+	if a == b {
+		return Zero
+	}
+	return One
+}
+
+// Not returns the five-valued negation of v. Note that ¬D = D̄: inversion
+// flips the polarity of a fault effect but preserves it.
+func Not(v V) V { return compose(not3(v.Good()), not3(v.Bad())) }
+
+// And returns the five-valued conjunction of a and b.
+func And(a, b V) V { return compose(and3(a.Good(), b.Good()), and3(a.Bad(), b.Bad())) }
+
+// Or returns the five-valued disjunction of a and b.
+func Or(a, b V) V { return compose(or3(a.Good(), b.Good()), or3(a.Bad(), b.Bad())) }
+
+// Xor returns the five-valued exclusive-or of a and b.
+func Xor(a, b V) V { return compose(xor3(a.Good(), b.Good()), xor3(a.Bad(), b.Bad())) }
+
+// AndN folds And over vs. AndN() == One, the identity of conjunction.
+func AndN(vs ...V) V {
+	r := One
+	for _, v := range vs {
+		r = And(r, v)
+	}
+	return r
+}
+
+// OrN folds Or over vs. OrN() == Zero, the identity of disjunction.
+func OrN(vs ...V) V {
+	r := Zero
+	for _, v := range vs {
+		r = Or(r, v)
+	}
+	return r
+}
+
+// XorN folds Xor over vs. XorN() == Zero.
+func XorN(vs ...V) V {
+	r := Zero
+	for _, v := range vs {
+		r = Xor(r, v)
+	}
+	return r
+}
+
+// FromBool converts a Go bool to One/Zero.
+func FromBool(b bool) V {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// FromBit converts 0/1 to Zero/One; any other value yields X.
+func FromBit(b int) V {
+	switch b {
+	case 0:
+		return Zero
+	case 1:
+		return One
+	default:
+		return X
+	}
+}

@@ -1,0 +1,243 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allV() []V { return []V{Zero, One, X, D, DBar} }
+
+// randV is a quick.Generator-style helper producing a uniformly random
+// defined logic value.
+func randV(r *rand.Rand) V { return V(r.Intn(int(numV))) }
+
+func TestStringAndValid(t *testing.T) {
+	want := map[V]string{Zero: "0", One: "1", X: "X", D: "D", DBar: "B"}
+	for v, s := range want {
+		if got := v.String(); got != s {
+			t.Errorf("V(%d).String() = %q, want %q", v, got, s)
+		}
+		if !v.Valid() {
+			t.Errorf("V(%d).Valid() = false, want true", v)
+		}
+	}
+	if V(17).Valid() {
+		t.Error("V(17).Valid() = true, want false")
+	}
+	if got := V(17).String(); got != "V(17)" {
+		t.Errorf("V(17).String() = %q", got)
+	}
+}
+
+func TestGoodBadDecomposition(t *testing.T) {
+	cases := []struct {
+		v, good, bad V
+	}{
+		{Zero, Zero, Zero},
+		{One, One, One},
+		{X, X, X},
+		{D, One, Zero},
+		{DBar, Zero, One},
+	}
+	for _, c := range cases {
+		if g := c.v.Good(); g != c.good {
+			t.Errorf("%v.Good() = %v, want %v", c.v, g, c.good)
+		}
+		if b := c.v.Bad(); b != c.bad {
+			t.Errorf("%v.Bad() = %v, want %v", c.v, b, c.bad)
+		}
+	}
+}
+
+func TestComposeInvertsDecompose(t *testing.T) {
+	for _, v := range allV() {
+		if got := compose(v.Good(), v.Bad()); got != v {
+			t.Errorf("compose(%v.Good(), %v.Bad()) = %v, want %v", v, v, got, v)
+		}
+	}
+}
+
+func TestNotTruthTable(t *testing.T) {
+	want := map[V]V{Zero: One, One: Zero, X: X, D: DBar, DBar: D}
+	for v, w := range want {
+		if got := Not(v); got != w {
+			t.Errorf("Not(%v) = %v, want %v", v, got, w)
+		}
+	}
+}
+
+func TestAndTruthTableSpotChecks(t *testing.T) {
+	cases := []struct{ a, b, want V }{
+		{Zero, D, Zero}, // controlling 0 kills the fault effect
+		{One, D, D},     // non-controlling 1 passes it
+		{D, D, D},       // D∧D = D
+		{D, DBar, Zero}, // (1,0)∧(0,1) = (0,0)
+		{X, D, X},       // unknown blocks
+		{X, Zero, Zero}, // but 0 still dominates X
+		{One, One, One},
+		{X, X, X},
+	}
+	for _, c := range cases {
+		if got := And(c.a, c.b); got != c.want {
+			t.Errorf("And(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOrTruthTableSpotChecks(t *testing.T) {
+	cases := []struct{ a, b, want V }{
+		{One, D, One},  // controlling 1 kills the fault effect
+		{Zero, D, D},   // non-controlling 0 passes it
+		{D, DBar, One}, // (1,0)∨(0,1) = (1,1)
+		{X, One, One},
+		{X, D, X},
+		{Zero, Zero, Zero},
+	}
+	for _, c := range cases {
+		if got := Or(c.a, c.b); got != c.want {
+			t.Errorf("Or(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestXorSpotChecks(t *testing.T) {
+	cases := []struct{ a, b, want V }{
+		{D, D, Zero},   // fault effect cancels through XOR of same polarity
+		{D, DBar, One}, // opposite polarities XOR to 1 in both circuits
+		{Zero, D, D},
+		{One, D, DBar},
+		{X, One, X},
+	}
+	for _, c := range cases {
+		if got := Xor(c.a, c.b); got != c.want {
+			t.Errorf("Xor(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestDCalculusConsistency is the central soundness property: every
+// five-valued operation must equal the pairwise ternary operation on the
+// (good, faulty) decomposition, modulo the X-collapsing of compose.
+func TestDCalculusConsistency(t *testing.T) {
+	ops := []struct {
+		name string
+		op5  func(a, b V) V
+		op3  func(a, b V) V
+	}{
+		{"And", And, and3},
+		{"Or", Or, or3},
+		{"Xor", Xor, xor3},
+	}
+	for _, o := range ops {
+		for _, a := range allV() {
+			for _, b := range allV() {
+				got := o.op5(a, b)
+				want := compose(o.op3(a.Good(), b.Good()), o.op3(a.Bad(), b.Bad()))
+				if got != want {
+					t.Errorf("%s(%v,%v) = %v, want %v", o.name, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCommutativityAndAssociativityProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	comm := func(op func(a, b V) V, name string) {
+		for i := 0; i < 500; i++ {
+			a, b := randV(r), randV(r)
+			if op(a, b) != op(b, a) {
+				t.Errorf("%s not commutative at (%v,%v)", name, a, b)
+			}
+		}
+	}
+	// Associativity holds on the ternary sub-algebra {0,1,X}. It does NOT
+	// hold over the full five values: And(And(D̄,D),X) = And(0,X) = 0 but
+	// And(D̄,And(D,X)) = And(D̄,X) = X, because the pair (good=0, bad=X) is
+	// not representable and collapses to X. That information loss is
+	// inherent to Roth's 5-valued calculus and is safe (X is conservative).
+	ternary := []V{Zero, One, X}
+	assoc := func(op func(a, b V) V, name string) {
+		for i := 0; i < 500; i++ {
+			a := ternary[r.Intn(3)]
+			b := ternary[r.Intn(3)]
+			c := ternary[r.Intn(3)]
+			if op(op(a, b), c) != op(a, op(b, c)) {
+				t.Errorf("%s not associative at (%v,%v,%v)", name, a, b, c)
+			}
+		}
+	}
+	comm(And, "And")
+	comm(Or, "Or")
+	comm(Xor, "Xor")
+	assoc(And, "And")
+	assoc(Or, "Or")
+	assoc(Xor, "Xor")
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	for _, a := range allV() {
+		for _, b := range allV() {
+			if Not(And(a, b)) != Or(Not(a), Not(b)) {
+				t.Errorf("De Morgan (AND) fails at (%v,%v)", a, b)
+			}
+			if Not(Or(a, b)) != And(Not(a), Not(b)) {
+				t.Errorf("De Morgan (OR) fails at (%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+func TestDoubleNegationProperty(t *testing.T) {
+	if err := quick.Check(func(raw uint8) bool {
+		v := V(raw % uint8(numV))
+		return Not(Not(v)) == v
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentityAndDominance(t *testing.T) {
+	for _, v := range allV() {
+		if And(One, v) != v {
+			t.Errorf("And(1,%v) != %v", v, v)
+		}
+		if Or(Zero, v) != v {
+			t.Errorf("Or(0,%v) != %v", v, v)
+		}
+		if And(Zero, v) != Zero {
+			t.Errorf("And(0,%v) != 0", v)
+		}
+		if Or(One, v) != One {
+			t.Errorf("Or(1,%v) != 1", v)
+		}
+		if Xor(Zero, v) != v {
+			t.Errorf("Xor(0,%v) != %v", v, v)
+		}
+	}
+}
+
+func TestNFoldOps(t *testing.T) {
+	if AndN() != One || OrN() != Zero || XorN() != Zero {
+		t.Error("n-fold identities wrong")
+	}
+	if AndN(One, One, Zero) != Zero {
+		t.Error("AndN(1,1,0) != 0")
+	}
+	if OrN(Zero, D, Zero) != D {
+		t.Error("OrN(0,D,0) != D")
+	}
+	if XorN(One, One, One) != One {
+		t.Error("XorN(1,1,1) != 1")
+	}
+}
+
+func TestFromBoolAndFromBit(t *testing.T) {
+	if FromBool(true) != One || FromBool(false) != Zero {
+		t.Error("FromBool wrong")
+	}
+	if FromBit(0) != Zero || FromBit(1) != One || FromBit(7) != X {
+		t.Error("FromBit wrong")
+	}
+}

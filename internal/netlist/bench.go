@@ -1,0 +1,291 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a circuit in the ISCAS'89 ".bench" format:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = NAND(G0, G1)
+//	G23 = DFF(G10)
+//
+// Gate type names are case-insensitive; NOT may also be spelled INV.
+// Forward references are allowed (a gate may use a net defined later).
+// The returned circuit is finalized.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	type protoGate struct {
+		name  string
+		typ   GateType
+		fanin []string
+		line  int
+	}
+	var (
+		protos  []protoGate
+		inputs  []string
+		outputs []string
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		switch {
+		case hasPrefixFold(line, "INPUT"):
+			arg, err := parseParen(line[len("INPUT"):], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, arg)
+		case hasPrefixFold(line, "OUTPUT"):
+			arg, err := parseParen(line[len("OUTPUT"):], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.IndexByte(line, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("bench %s:%d: expected assignment, got %q", name, lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.IndexByte(rhs, '(')
+			close := strings.LastIndexByte(rhs, ')')
+			if lhs == "" || open <= 0 || close < open {
+				return nil, fmt.Errorf("bench %s:%d: malformed gate %q", name, lineNo, line)
+			}
+			tname := strings.TrimSpace(rhs[:open])
+			typ, ok := gateTypeFromName(tname)
+			if !ok {
+				return nil, fmt.Errorf("bench %s:%d: unknown gate type %q", name, lineNo, tname)
+			}
+			var fanin []string
+			args := strings.TrimSpace(rhs[open+1 : close])
+			if args != "" {
+				for _, a := range strings.Split(args, ",") {
+					a = strings.TrimSpace(a)
+					if a == "" {
+						return nil, fmt.Errorf("bench %s:%d: empty fanin in %q", name, lineNo, line)
+					}
+					fanin = append(fanin, a)
+				}
+			}
+			protos = append(protos, protoGate{name: lhs, typ: typ, fanin: fanin, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench %s: %w", name, err)
+	}
+
+	c := New(name)
+	for _, in := range inputs {
+		if _, err := c.AddGate(in, Input); err != nil {
+			return nil, fmt.Errorf("bench %s: %w", name, err)
+		}
+	}
+	// Two-pass insertion to allow forward references: sort gates so that a
+	// gate is added only after all of its fanin. Use iterative worklist.
+	pending := make(map[string]protoGate, len(protos))
+	for _, p := range protos {
+		if _, dup := pending[p.name]; dup {
+			return nil, fmt.Errorf("bench %s:%d: duplicate definition of %q", name, p.line, p.name)
+		}
+		pending[p.name] = p
+	}
+	// DFF fanin does not gate insertion order (it may close a sequential
+	// loop), so DFFs are inserted in a final pass with placeholder fixup.
+	// Strategy: first add all DFF gates with deferred fanin, then add
+	// combinational gates in dependency order, then patch DFF fanin.
+	type dffFix struct {
+		id    GateID
+		fanin string
+		line  int
+	}
+	var fixes []dffFix
+	for _, p := range protos {
+		if p.typ != DFF {
+			continue
+		}
+		// Temporarily create the DFF with a self-fanin placeholder; the
+		// real fanin is patched after all gates exist.
+		id, err := c.addDFFDeferred(p.name)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s:%d: %w", name, p.line, err)
+		}
+		if len(p.fanin) != 1 {
+			return nil, fmt.Errorf("bench %s:%d: DFF %q must have exactly one fanin", name, p.line, p.name)
+		}
+		fixes = append(fixes, dffFix{id: id, fanin: p.fanin[0], line: p.line})
+		delete(pending, p.name)
+	}
+	// Kahn-style insertion of combinational gates.
+	for len(pending) > 0 {
+		progress := false
+		// Deterministic order: sort pending names each round.
+		names := make([]string, 0, len(pending))
+		for n := range pending {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			p := pending[n]
+			ready := true
+			fanin := make([]GateID, len(p.fanin))
+			for i, fn := range p.fanin {
+				id, ok := c.Lookup(fn)
+				if !ok {
+					ready = false
+					break
+				}
+				fanin[i] = id
+			}
+			if !ready {
+				continue
+			}
+			if _, err := c.AddGate(p.name, p.typ, fanin...); err != nil {
+				return nil, fmt.Errorf("bench %s:%d: %w", name, p.line, err)
+			}
+			delete(pending, n)
+			progress = true
+		}
+		if !progress {
+			stuck := make([]string, 0, len(pending))
+			for n := range pending {
+				stuck = append(stuck, n)
+			}
+			sort.Strings(stuck)
+			return nil, fmt.Errorf("bench %s: unresolved or cyclic combinational nets: %v", name, stuck)
+		}
+	}
+	for _, f := range fixes {
+		id, ok := c.Lookup(f.fanin)
+		if !ok {
+			return nil, fmt.Errorf("bench %s:%d: DFF references unknown net %q", name, f.line, f.fanin)
+		}
+		c.gates[f.id].Fanin = []GateID{id}
+	}
+	for _, out := range outputs {
+		id, ok := c.Lookup(out)
+		if !ok {
+			return nil, fmt.Errorf("bench %s: OUTPUT references unknown net %q", name, out)
+		}
+		if err := c.MarkOutput(id); err != nil {
+			return nil, fmt.Errorf("bench %s: %w", name, err)
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// addDFFDeferred inserts a DFF whose fanin will be patched later.
+func (c *Circuit) addDFFDeferred(name string) (GateID, error) {
+	if _, dup := c.byName[name]; dup {
+		return InvalidGate, fmt.Errorf("duplicate net name %q", name)
+	}
+	id := GateID(len(c.gates))
+	c.gates = append(c.gates, Gate{ID: id, Type: DFF, Name: name, Fanin: []GateID{id}})
+	c.byName[name] = id
+	c.dffs = append(c.dffs, id)
+	return id, nil
+}
+
+// ParseBenchString is ParseBench over an in-memory string.
+func ParseBenchString(name, src string) (*Circuit, error) {
+	return ParseBench(name, strings.NewReader(src))
+}
+
+// WriteBench writes c in the ISCAS'89 .bench format. The output is
+// deterministic: inputs, outputs, then gates in ID order.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d DFFs\n", len(c.inputs), len(c.outputs), len(c.dffs))
+	for _, in := range c.inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.gates[in].Name)
+	}
+	for _, out := range c.outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.gates[out].Name)
+	}
+	for i := range c.gates {
+		g := &c.gates[i]
+		if g.Type == Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for j, f := range g.Fanin {
+			names[j] = c.gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// BenchString renders c as a .bench-format string.
+func BenchString(c *Circuit) string {
+	var b strings.Builder
+	if err := WriteBench(&b, c); err != nil {
+		// strings.Builder writes cannot fail.
+		panic(err)
+	}
+	return b.String()
+}
+
+func hasPrefixFold(s, prefix string) bool {
+	return len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix)
+}
+
+func parseParen(s string, line int) (string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return "", fmt.Errorf("bench line %d: expected parenthesised name, got %q", line, s)
+	}
+	arg := strings.TrimSpace(s[1 : len(s)-1])
+	if arg == "" {
+		return "", fmt.Errorf("bench line %d: empty name", line)
+	}
+	return arg, nil
+}
+
+func gateTypeFromName(s string) (GateType, bool) {
+	switch strings.ToUpper(s) {
+	case "BUF", "BUFF":
+		return Buf, true
+	case "NOT", "INV":
+		return Not, true
+	case "AND":
+		return And, true
+	case "NAND":
+		return Nand, true
+	case "OR":
+		return Or, true
+	case "NOR":
+		return Nor, true
+	case "XOR":
+		return Xor, true
+	case "XNOR":
+		return Xnor, true
+	case "DFF":
+		return DFF, true
+	case "CONST0":
+		return Const0, true
+	case "CONST1":
+		return Const1, true
+	}
+	return 0, false
+}

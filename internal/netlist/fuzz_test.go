@@ -1,0 +1,59 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench exercises the .bench parser with arbitrary input. The
+// invariants: no panic; on success the circuit is finalized and its bench
+// serialization reparses to an equal-shape circuit (idempotent round trip).
+func FuzzParseBench(f *testing.F) {
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add(c17Bench)
+	f.Add(seqBench)
+	f.Add("# only a comment\n")
+	f.Add("INPUT(a)\nb = DFF(b)\nOUTPUT(b)")
+	f.Add("INPUT(a)\nU = AND(a, V)\nV = BUF(U)")
+	f.Add("x = CONST1()\nOUTPUT(x)")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseBenchString("fuzz", src)
+		if err != nil {
+			return
+		}
+		if !c.Finalized() {
+			t.Fatal("parsed circuit not finalized")
+		}
+		text := BenchString(c)
+		re, err := ParseBenchString("fuzz", text)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, text)
+		}
+		a, b := c.ComputeStats(), re.ComputeStats()
+		if a.Inputs != b.Inputs || a.Outputs != b.Outputs || a.DFFs != b.DFFs || a.Gates != b.Gates || a.Depth != b.Depth {
+			t.Fatalf("round trip changed shape: %+v vs %+v", a, b)
+		}
+		// Second serialization must be byte-identical (canonical form).
+		if BenchString(re) != text {
+			t.Fatal("serialization not canonical")
+		}
+	})
+}
+
+// FuzzBenchNames stresses parsing with odd identifier content.
+func FuzzBenchNames(f *testing.F) {
+	f.Add("weird-name.1", "other$name")
+	f.Fuzz(func(t *testing.T, n1, n2 string) {
+		if strings.ContainsAny(n1+n2, "(),= \t\n#") || n1 == "" || n2 == "" || n1 == n2 {
+			return
+		}
+		src := "INPUT(" + n1 + ")\nOUTPUT(" + n2 + ")\n" + n2 + " = NOT(" + n1 + ")\n"
+		c, err := ParseBenchString("fuzz", src)
+		if err != nil {
+			t.Fatalf("valid names rejected: %v", err)
+		}
+		if _, ok := c.Lookup(n1); !ok {
+			t.Fatalf("name %q lost", n1)
+		}
+	})
+}

@@ -1,0 +1,408 @@
+// Package netlist models gate-level circuits in the style of the ISCAS'89
+// benchmark suite: primary inputs and outputs, combinational gates, and D
+// flip-flops. It provides the structural substrate for logic simulation,
+// fault modelling and ATPG: construction, validation, levelization
+// (topological ordering of the combinational logic), fan-out computation and
+// logic-cone extraction.
+//
+// The full-scan interpretation used throughout the library treats every DFF
+// as both a pseudo primary input (its output pin, loaded through the scan
+// chain) and a pseudo primary output (its data input pin, observed through
+// the scan chain). See package scan for the explicit scan view.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateType identifies the logic function of a gate.
+type GateType uint8
+
+// Gate types. Input gates have no fanin; DFF gates have exactly one fanin
+// (the data input). Const0/Const1 are tie-off cells occasionally useful when
+// stitching cores together.
+const (
+	Input GateType = iota
+	Buf
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+	DFF
+	Const0
+	Const1
+	numGateTypes
+)
+
+var gateTypeNames = [...]string{
+	Input: "INPUT", Buf: "BUF", Not: "NOT", And: "AND", Nand: "NAND",
+	Or: "OR", Nor: "NOR", Xor: "XOR", Xnor: "XNOR", DFF: "DFF",
+	Const0: "CONST0", Const1: "CONST1",
+}
+
+// String returns the canonical upper-case name of t.
+func (t GateType) String() string {
+	if int(t) < len(gateTypeNames) {
+		return gateTypeNames[t]
+	}
+	return fmt.Sprintf("GateType(%d)", uint8(t))
+}
+
+// Valid reports whether t is a defined gate type.
+func (t GateType) Valid() bool { return t < numGateTypes }
+
+// Combinational reports whether t is an evaluating combinational gate
+// (everything except Input and DFF).
+func (t GateType) Combinational() bool {
+	return t != Input && t != DFF && t.Valid()
+}
+
+// MinFanin returns the minimum legal fanin count for t.
+func (t GateType) MinFanin() int {
+	switch t {
+	case Input, Const0, Const1:
+		return 0
+	case Buf, Not, DFF:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// MaxFanin returns the maximum legal fanin count for t, or -1 for unbounded.
+func (t GateType) MaxFanin() int {
+	switch t {
+	case Input, Const0, Const1:
+		return 0
+	case Buf, Not, DFF:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// GateID indexes a gate within its circuit.
+type GateID int32
+
+// InvalidGate is the sentinel for "no gate".
+const InvalidGate GateID = -1
+
+// Gate is one node of the netlist. Its output net carries the gate's Name;
+// Fanin lists the gates driving its inputs, in pin order.
+type Gate struct {
+	ID    GateID
+	Type  GateType
+	Name  string
+	Fanin []GateID
+}
+
+// Circuit is a gate-level netlist. Construct with New, add gates with
+// AddGate/MustAddGate, mark primary outputs with MarkOutput, then call
+// Finalize before using any analysis method.
+type Circuit struct {
+	Name string
+
+	gates   []Gate
+	byName  map[string]GateID
+	inputs  []GateID // primary inputs, in insertion order
+	outputs []GateID // gates whose output nets are primary outputs
+	dffs    []GateID // flip-flops, in insertion order
+
+	finalized bool
+	fanout    [][]GateID
+	levels    []int32  // per-gate level; Input/DFF = 0
+	order     []GateID // combinational gates in topological order
+}
+
+// New returns an empty circuit with the given name.
+func New(name string) *Circuit {
+	return &Circuit{Name: name, byName: make(map[string]GateID)}
+}
+
+// AddGate appends a gate driving the net called name. Fanin gates must
+// already exist. It returns an error for duplicate names, bad fanin counts,
+// or references to unknown gates.
+func (c *Circuit) AddGate(name string, t GateType, fanin ...GateID) (GateID, error) {
+	if c.finalized {
+		return InvalidGate, fmt.Errorf("netlist: circuit %q is finalized", c.Name)
+	}
+	if name == "" {
+		return InvalidGate, fmt.Errorf("netlist: empty gate name")
+	}
+	if !t.Valid() {
+		return InvalidGate, fmt.Errorf("netlist: invalid gate type %d", t)
+	}
+	if _, dup := c.byName[name]; dup {
+		return InvalidGate, fmt.Errorf("netlist: duplicate net name %q", name)
+	}
+	if min := t.MinFanin(); len(fanin) < min {
+		return InvalidGate, fmt.Errorf("netlist: gate %q (%v) needs at least %d fanin, got %d", name, t, min, len(fanin))
+	}
+	if max := t.MaxFanin(); max >= 0 && len(fanin) > max {
+		return InvalidGate, fmt.Errorf("netlist: gate %q (%v) allows at most %d fanin, got %d", name, t, max, len(fanin))
+	}
+	for _, f := range fanin {
+		if f < 0 || int(f) >= len(c.gates) {
+			return InvalidGate, fmt.Errorf("netlist: gate %q references unknown fanin %d", name, f)
+		}
+	}
+	id := GateID(len(c.gates))
+	c.gates = append(c.gates, Gate{ID: id, Type: t, Name: name, Fanin: append([]GateID(nil), fanin...)})
+	c.byName[name] = id
+	switch t {
+	case Input:
+		c.inputs = append(c.inputs, id)
+	case DFF:
+		c.dffs = append(c.dffs, id)
+	}
+	return id, nil
+}
+
+// MustAddGate is AddGate but panics on error; it is intended for
+// programmatic circuit builders whose inputs are known-correct.
+func (c *Circuit) MustAddGate(name string, t GateType, fanin ...GateID) GateID {
+	id, err := c.AddGate(name, t, fanin...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// MarkOutput declares the net driven by id to be a primary output.
+// Marking the same gate twice is an error.
+func (c *Circuit) MarkOutput(id GateID) error {
+	if c.finalized {
+		return fmt.Errorf("netlist: circuit %q is finalized", c.Name)
+	}
+	if id < 0 || int(id) >= len(c.gates) {
+		return fmt.Errorf("netlist: MarkOutput of unknown gate %d", id)
+	}
+	for _, o := range c.outputs {
+		if o == id {
+			return fmt.Errorf("netlist: gate %q already marked as output", c.gates[id].Name)
+		}
+	}
+	c.outputs = append(c.outputs, id)
+	return nil
+}
+
+// Finalize freezes the circuit, computes fan-out lists, checks for
+// combinational cycles and levelizes the combinational logic. A circuit must
+// be finalized before simulation or analysis. Finalize is idempotent.
+func (c *Circuit) Finalize() error {
+	if c.finalized {
+		return nil
+	}
+	n := len(c.gates)
+	c.fanout = make([][]GateID, n)
+	for _, g := range c.gates {
+		for _, f := range g.Fanin {
+			c.fanout[f] = append(c.fanout[f], g.ID)
+		}
+	}
+
+	// Levelize with Kahn's algorithm over the combinational graph.
+	// DFF and Input gates are sources (level 0); DFF fanin edges are cut:
+	// a DFF consumes its fanin but does not propagate level through it.
+	indeg := make([]int32, n)
+	for _, g := range c.gates {
+		if g.Type == Input || g.Type == DFF {
+			continue
+		}
+		indeg[g.ID] = int32(len(g.Fanin))
+	}
+	c.levels = make([]int32, n)
+	queue := make([]GateID, 0, n)
+	for _, g := range c.gates {
+		if g.Type == Input || g.Type == DFF || indeg[g.ID] == 0 {
+			queue = append(queue, g.ID)
+		}
+	}
+	c.order = make([]GateID, 0, n)
+	seen := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		seen++
+		g := &c.gates[id]
+		if g.Type.Combinational() {
+			c.order = append(c.order, id)
+		}
+		for _, s := range c.fanout[id] {
+			succ := &c.gates[s]
+			if succ.Type == Input || succ.Type == DFF {
+				continue // edge into a DFF is a cycle-cut boundary
+			}
+			if l := c.levels[id] + 1; l > c.levels[s] {
+				c.levels[s] = l
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	// Every non-source gate must have been visited exactly once.
+	want := 0
+	for _, g := range c.gates {
+		if g.Type != Input && g.Type != DFF {
+			want++
+		}
+	}
+	if len(c.order) != want {
+		return fmt.Errorf("netlist: circuit %q has a combinational cycle (%d of %d gates ordered)",
+			c.Name, len(c.order), want)
+	}
+	_ = seen
+	c.finalized = true
+	return nil
+}
+
+// Finalized reports whether Finalize has completed successfully.
+func (c *Circuit) Finalized() bool { return c.finalized }
+
+// NumGates returns the total number of gates (including inputs and DFFs).
+func (c *Circuit) NumGates() int { return len(c.gates) }
+
+// Gate returns the gate with the given id. The returned pointer is valid
+// until the next AddGate call.
+func (c *Circuit) Gate(id GateID) *Gate { return &c.gates[id] }
+
+// Lookup returns the gate driving the net called name, if any.
+func (c *Circuit) Lookup(name string) (GateID, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// Inputs returns the primary inputs in declaration order.
+// The caller must not modify the returned slice.
+func (c *Circuit) Inputs() []GateID { return c.inputs }
+
+// Outputs returns the primary outputs in declaration order.
+func (c *Circuit) Outputs() []GateID { return c.outputs }
+
+// DFFs returns the flip-flops in declaration order.
+func (c *Circuit) DFFs() []GateID { return c.dffs }
+
+// Fanout returns the gates driven by id. Finalize must have been called.
+func (c *Circuit) Fanout(id GateID) []GateID {
+	c.mustBeFinalized("Fanout")
+	return c.fanout[id]
+}
+
+// Level returns the combinational level of id (Inputs and DFFs are 0).
+func (c *Circuit) Level(id GateID) int {
+	c.mustBeFinalized("Level")
+	return int(c.levels[id])
+}
+
+// TopoOrder returns the combinational gates in topological (levelized)
+// evaluation order. Inputs and DFFs are excluded — they are value sources.
+func (c *Circuit) TopoOrder() []GateID {
+	c.mustBeFinalized("TopoOrder")
+	return c.order
+}
+
+// Depth returns the maximum combinational level in the circuit.
+func (c *Circuit) Depth() int {
+	c.mustBeFinalized("Depth")
+	d := int32(0)
+	for _, l := range c.levels {
+		if l > d {
+			d = l
+		}
+	}
+	return int(d)
+}
+
+func (c *Circuit) mustBeFinalized(op string) {
+	if !c.finalized {
+		panic(fmt.Sprintf("netlist: %s called on non-finalized circuit %q", op, c.Name))
+	}
+}
+
+// PseudoInputs returns the full-scan controllable points: primary inputs
+// followed by DFF outputs, in declaration order. This is the stimulus frame
+// used by simulation and ATPG.
+func (c *Circuit) PseudoInputs() []GateID {
+	ids := make([]GateID, 0, len(c.inputs)+len(c.dffs))
+	ids = append(ids, c.inputs...)
+	ids = append(ids, c.dffs...)
+	return ids
+}
+
+// PseudoOutputs returns the full-scan observable points: primary outputs
+// followed by the gates driving DFF data inputs, in declaration order.
+// The same driver may appear more than once if it feeds several DFFs or is
+// also a primary output; each occurrence is a distinct observation site.
+func (c *Circuit) PseudoOutputs() []GateID {
+	ids := make([]GateID, 0, len(c.outputs)+len(c.dffs))
+	ids = append(ids, c.outputs...)
+	for _, d := range c.dffs {
+		ids = append(ids, c.gates[d].Fanin[0])
+	}
+	return ids
+}
+
+// Stats summarises a circuit's structure.
+type Stats struct {
+	Name      string
+	Inputs    int
+	Outputs   int
+	DFFs      int
+	Gates     int // combinational gates only
+	Depth     int
+	ByType    map[GateType]int
+	MaxFanin  int
+	MaxFanout int
+	TotalNets int
+}
+
+// ComputeStats returns structural statistics; the circuit must be finalized.
+func (c *Circuit) ComputeStats() Stats {
+	c.mustBeFinalized("ComputeStats")
+	s := Stats{
+		Name:      c.Name,
+		Inputs:    len(c.inputs),
+		Outputs:   len(c.outputs),
+		DFFs:      len(c.dffs),
+		Depth:     c.Depth(),
+		ByType:    make(map[GateType]int),
+		TotalNets: len(c.gates),
+	}
+	for i := range c.gates {
+		g := &c.gates[i]
+		s.ByType[g.Type]++
+		if g.Type.Combinational() {
+			s.Gates++
+		}
+		if len(g.Fanin) > s.MaxFanin {
+			s.MaxFanin = len(g.Fanin)
+		}
+		if len(c.fanout[g.ID]) > s.MaxFanout {
+			s.MaxFanout = len(c.fanout[g.ID])
+		}
+	}
+	return s
+}
+
+// String renders the statistics on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d PI, %d PO, %d DFF, %d gates, depth %d",
+		s.Name, s.Inputs, s.Outputs, s.DFFs, s.Gates, s.Depth)
+}
+
+// SortedNames returns all net names in sorted order (mainly for stable
+// iteration in tests and writers).
+func (c *Circuit) SortedNames() []string {
+	names := make([]string, 0, len(c.byName))
+	for n := range c.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

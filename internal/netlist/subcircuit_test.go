@@ -1,0 +1,144 @@
+package netlist
+
+import (
+	"testing"
+)
+
+const subTestBench = `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+OUTPUT(z)
+f = DFF(n2)
+n1 = AND(a, b)
+n2 = OR(n1, c)
+y = XOR(n2, f)
+z = NOT(n1)
+`
+
+func TestSubcircuitFromConeBasics(t *testing.T) {
+	c, err := ParseBenchString("sub", subTestBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Lookup("y")
+	cone := c.ExtractCone(y)
+	sub, backMap, err := SubcircuitFromCone(c, &cone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y's cone: y, n2, n1, supports a, b, c, f.
+	if len(sub.Inputs()) != 4 {
+		t.Errorf("subcircuit inputs = %d, want 4", len(sub.Inputs()))
+	}
+	if len(sub.Outputs()) != 1 {
+		t.Errorf("subcircuit outputs = %d, want 1", len(sub.Outputs()))
+	}
+	if sub.ComputeStats().DFFs != 0 {
+		t.Error("cone subcircuit must be purely combinational (supports become inputs)")
+	}
+	// The DFF 'f' became an input named f.
+	fID, ok := sub.Lookup("f")
+	if !ok || sub.Gate(fID).Type != Input {
+		t.Error("DFF support did not become an input")
+	}
+	// Back-mapping is total and name-preserving.
+	if len(backMap) != sub.NumGates() {
+		t.Errorf("back map covers %d of %d gates", len(backMap), sub.NumGates())
+	}
+	for newID, oldID := range backMap {
+		if sub.Gate(newID).Name != c.Gate(oldID).Name {
+			t.Errorf("name mismatch: %s vs %s", sub.Gate(newID).Name, c.Gate(oldID).Name)
+		}
+	}
+}
+
+func TestSubcircuitPreservesFunction(t *testing.T) {
+	// The subcircuit must compute the same function as the cone inside the
+	// parent: check structurally that every gate keeps its type and fanin
+	// names.
+	c, err := ParseBenchString("sub", subTestBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Lookup("y")
+	cone := c.ExtractCone(y)
+	sub, backMap, err := SubcircuitFromCone(c, &cone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for newID := GateID(0); int(newID) < sub.NumGates(); newID++ {
+		ng := sub.Gate(newID)
+		og := c.Gate(backMap[newID])
+		if ng.Type == Input {
+			continue // support boundary: type intentionally changes
+		}
+		if ng.Type != og.Type {
+			t.Errorf("%s: type %v vs %v", ng.Name, ng.Type, og.Type)
+		}
+		if len(ng.Fanin) != len(og.Fanin) {
+			t.Errorf("%s: fanin count changed", ng.Name)
+			continue
+		}
+		for i := range ng.Fanin {
+			if sub.Gate(ng.Fanin[i]).Name != c.Gate(og.Fanin[i]).Name {
+				t.Errorf("%s: fanin %d is %s, want %s", ng.Name, i,
+					sub.Gate(ng.Fanin[i]).Name, c.Gate(og.Fanin[i]).Name)
+			}
+		}
+	}
+}
+
+func TestSubcircuitErrors(t *testing.T) {
+	raw := New("raw")
+	raw.MustAddGate("a", Input)
+	cone := Cone{}
+	if _, _, err := SubcircuitFromCone(raw, &cone); err == nil {
+		t.Error("non-finalized circuit accepted")
+	}
+
+	c, err := ParseBenchString("sub", subTestBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := c.Lookup("y")
+	good := c.ExtractCone(y)
+	// Corrupt the cone: remove a middle gate so a fanin falls outside.
+	n2, _ := c.Lookup("n2")
+	bad := Cone{Apex: good.Apex, Support: good.Support}
+	for _, g := range good.Gates {
+		if g != n2 {
+			bad.Gates = append(bad.Gates, g)
+		}
+	}
+	if _, _, err := SubcircuitFromCone(c, &bad); err == nil {
+		t.Error("cone with missing interior gate accepted")
+	}
+	// Cone without its apex.
+	noApex := Cone{Apex: y, Gates: good.Support, Support: good.Support}
+	if _, _, err := SubcircuitFromCone(c, &noApex); err == nil {
+		t.Error("cone without apex accepted")
+	}
+}
+
+func TestEveryConeExtractsToValidSubcircuit(t *testing.T) {
+	c, err := ParseBenchString("sub", subTestBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cone := range c.AllCones() {
+		cone := cone
+		sub, _, err := SubcircuitFromCone(c, &cone)
+		if err != nil {
+			t.Fatalf("cone %s: %v", c.Gate(cone.Apex).Name, err)
+		}
+		if !sub.Finalized() {
+			t.Fatal("subcircuit not finalized")
+		}
+		if len(sub.Inputs()) != cone.Width() {
+			t.Errorf("cone %s: inputs %d != width %d",
+				c.Gate(cone.Apex).Name, len(sub.Inputs()), cone.Width())
+		}
+	}
+}

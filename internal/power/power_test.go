@@ -1,0 +1,220 @@
+package power
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+func cube(s string) logic.Cube {
+	c, ok := logic.ParseCube(s)
+	if !ok {
+		panic("bad cube " + s)
+	}
+	return c
+}
+
+func TestShiftInWTC(t *testing.T) {
+	cases := []struct {
+		v    string
+		want int64
+	}{
+		{"0000", 0},
+		{"1111", 0},
+		{"", 0},
+		{"1", 0},
+		// 1000: transition at j=0 -> weight 3.
+		{"1000", 3},
+		// 0101: transitions at j=0,1,2 -> 3+2+1 = 6 (worst case).
+		{"0101", 6},
+		// X treated as 0: X1XX == 0100 -> j=0 (3) + j=1 (2) = 5.
+		{"X1XX", 5},
+	}
+	for _, c := range cases {
+		if got := ShiftInWTC(cube(c.v)); got != c.want {
+			t.Errorf("ShiftInWTC(%s) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestShiftOutWTCMirrors(t *testing.T) {
+	// Shift-out weights mirror shift-in: reversing the vector swaps them.
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(30)
+		v := make(logic.Cube, n)
+		for i := range v {
+			v[i] = logic.FromBool(r.Intn(2) == 1)
+		}
+		rev := make(logic.Cube, n)
+		for i := range v {
+			rev[n-1-i] = v[i]
+		}
+		if ShiftOutWTC(v) != ShiftInWTC(rev) {
+			t.Fatalf("mirror property fails for %v", v)
+		}
+	}
+}
+
+func TestWTCBoundsProperty(t *testing.T) {
+	// 0 <= WTC <= L(L-1)/2, with the max achieved by alternating vectors.
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		v := make(logic.Cube, n)
+		for i := range v {
+			v[i] = logic.FromBool(r.Intn(2) == 1)
+		}
+		w := ShiftInWTC(v)
+		return w >= 0 && w <= int64(n*(n-1)/2)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Alternating achieves the bound.
+	if got := ShiftInWTC(cube("010101")); got != 15 {
+		t.Errorf("alternating WTC = %d, want 15", got)
+	}
+}
+
+func TestProfiled(t *testing.T) {
+	p := Profiled([]logic.Cube{cube("0101"), cube("0000"), cube("1000")})
+	if p.Patterns != 3 {
+		t.Errorf("patterns = %d", p.Patterns)
+	}
+	if p.PeakWTC != 6 {
+		t.Errorf("peak = %d, want 6", p.PeakWTC)
+	}
+	if p.TotalWTC != 9 {
+		t.Errorf("total = %d, want 9", p.TotalWTC)
+	}
+	if p.MeanWTC() != 3 {
+		t.Errorf("mean = %v, want 3", p.MeanWTC())
+	}
+	var empty Profile
+	if empty.MeanWTC() != 0 {
+		t.Error("empty mean must be 0")
+	}
+}
+
+func socCores() []CoreLoad {
+	return []CoreLoad{
+		{Name: "a", Time: 100, Power: 60},
+		{Name: "b", Time: 80, Power: 50},
+		{Name: "c", Time: 60, Power: 40},
+		{Name: "d", Time: 40, Power: 30},
+		{Name: "e", Time: 20, Power: 20},
+	}
+}
+
+func TestScheduleSessionsRespectsBudget(t *testing.T) {
+	cores := socCores()
+	s, err := ScheduleSessions(cores, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, ses := range s.Sessions {
+		if ses.Power > 100 {
+			t.Errorf("session power %d over budget", ses.Power)
+		}
+		var maxT int64
+		for _, name := range ses.Cores {
+			if seen[name] {
+				t.Errorf("core %s scheduled twice", name)
+			}
+			seen[name] = true
+			for _, c := range cores {
+				if c.Name == name && c.Time > maxT {
+					maxT = c.Time
+				}
+			}
+		}
+		if ses.Time != maxT {
+			t.Errorf("session time %d != max member %d", ses.Time, maxT)
+		}
+	}
+	if len(seen) != len(cores) {
+		t.Errorf("scheduled %d of %d cores", len(seen), len(cores))
+	}
+	// Concurrency must beat the serial baseline here.
+	if s.TotalTime >= SerialTime(cores) {
+		t.Errorf("total %d not below serial %d", s.TotalTime, SerialTime(cores))
+	}
+	if !strings.Contains(s.String(), "sessions") {
+		t.Error("String wrong")
+	}
+}
+
+func TestScheduleSessionsTightBudgetIsSerial(t *testing.T) {
+	cores := socCores()
+	s, err := ScheduleSessions(cores, 60) // only single cores fit... b+e=70 > 60 etc.
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c+e = 60 fits; but every session must respect the budget, and total
+	// time can never beat the longest core.
+	for _, ses := range s.Sessions {
+		if ses.Power > 60 {
+			t.Errorf("over budget: %d", ses.Power)
+		}
+	}
+	if s.TotalTime > SerialTime(cores) {
+		t.Errorf("schedule worse than serial: %d > %d", s.TotalTime, SerialTime(cores))
+	}
+	if s.TotalTime < 100 {
+		t.Error("total below the longest core is impossible")
+	}
+}
+
+func TestScheduleSessionsErrors(t *testing.T) {
+	if _, err := ScheduleSessions(socCores(), 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := ScheduleSessions([]CoreLoad{{Name: "x", Power: 200, Time: 1}}, 100); err == nil {
+		t.Error("oversized core accepted")
+	}
+	if _, err := ScheduleSessions([]CoreLoad{{Name: "x", Power: -1, Time: 1}}, 100); err == nil {
+		t.Error("negative power accepted")
+	}
+}
+
+// Property: the schedule always covers every core exactly once, respects
+// the budget, and its total time is between the longest core and the
+// serial sum.
+func TestScheduleSessionsProperties(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		budget := int64(50 + r.Intn(200))
+		var cores []CoreLoad
+		var longest int64
+		for i := 0; i < n; i++ {
+			c := CoreLoad{
+				Name:  string(rune('a' + i)),
+				Time:  int64(1 + r.Intn(500)),
+				Power: int64(1 + r.Int63n(budget)),
+			}
+			if c.Time > longest {
+				longest = c.Time
+			}
+			cores = append(cores, c)
+		}
+		s, err := ScheduleSessions(cores, budget)
+		if err != nil {
+			return false
+		}
+		count := 0
+		for _, ses := range s.Sessions {
+			if ses.Power > budget {
+				return false
+			}
+			count += len(ses.Cores)
+		}
+		return count == n && s.TotalTime >= longest && s.TotalTime <= SerialTime(cores)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package report renders the experiment results as aligned plain-text
+// tables in the style of the paper's Tables 1-4, with thousands-separated
+// bit counts and signed percentages.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+	footers [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a body row; missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddFooter appends a footer row, separated from the body by a rule.
+func (t *Table) AddFooter(cells ...string) {
+	t.footers = append(t.footers, cells)
+}
+
+// String renders the table. Columns are left-aligned for the first column
+// and right-aligned otherwise (numbers dominate).
+func (t *Table) String() string {
+	width := len(t.headers)
+	all := [][]string{t.headers}
+	all = append(all, t.rows...)
+	all = append(all, t.footers...)
+	for _, r := range all {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	colw := make([]int, width)
+	for _, r := range all {
+		for i, c := range r {
+			if len(c) > colw[i] {
+				colw[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < width; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", colw[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", colw[i], c)
+			}
+		}
+		// Trim trailing spaces for clean output.
+		s := b.String()
+		trimmed := strings.TrimRight(s, " ")
+		b.Reset()
+		b.WriteString(trimmed)
+		b.WriteByte('\n')
+	}
+	rule := func() {
+		n := 0
+		for i, w := range colw {
+			n += w
+			if i > 0 {
+				n += 2
+			}
+		}
+		b.WriteString(strings.Repeat("-", n))
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	rule()
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	if len(t.footers) > 0 {
+		rule()
+		for _, r := range t.footers {
+			writeRow(r)
+		}
+	}
+	return b.String()
+}
+
+// Int formats an integer with thousands separators ("28,538,030").
+func Int(n int64) string {
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	s := fmt.Sprintf("%d", n)
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// Pct formats a fraction as a signed percentage with one decimal ("-59.3%").
+func Pct(f float64) string {
+	return fmt.Sprintf("%+.1f%%", f*100)
+}
+
+// Ratio formats a ratio with two decimals ("2.87").
+func Ratio(f float64) string {
+	return fmt.Sprintf("%.2f", f)
+}
+
+// Fixed2 formats a float with two decimals (for normalized stdev columns).
+func Fixed2(f float64) string {
+	return fmt.Sprintf("%.2f", f)
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIntFormatting(t *testing.T) {
+	cases := map[int64]string{
+		0:            "0",
+		7:            "7",
+		999:          "999",
+		1000:         "1,000",
+		28538030:     "28,538,030",
+		144302301808: "144,302,301,808",
+		-45183:       "-45,183",
+	}
+	for n, want := range cases {
+		if got := Int(n); got != want {
+			t.Errorf("Int(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestPctAndRatio(t *testing.T) {
+	if got := Pct(-0.593); got != "-59.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(0.055); got != "+5.5%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Ratio(2.8713); got != "2.87" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Fixed2(1.291); got != "1.29" {
+		t.Errorf("Fixed2 = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Table 1: demo", "Core", "I", "O", "TDV")
+	tb.AddRow("s713", "35", "23", "4,992")
+	tb.AddRow("s953", "16", "23", "8,245")
+	tb.AddFooter("SOC", "", "", "45,183")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + rule + 2 rows + rule + footer = 7 lines.
+	if len(lines) != 7 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Table 1: demo" {
+		t.Errorf("title = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "Core") || !strings.Contains(lines[1], "TDV") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// Numeric columns right-aligned: the 4,992 and 8,245 must end at the
+	// same column.
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("missing rule: %q", lines[2])
+	}
+}
+
+func TestTableWithoutTitleOrFooter(t *testing.T) {
+	tb := New("", "A", "B")
+	tb.AddRow("x", "1")
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Error("empty title produced a leading newline")
+	}
+	if strings.Count(out, "---") != 1 {
+		t.Error("footerless table must have exactly one rule")
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := New("t", "A", "B", "C")
+	tb.AddRow("only-one")
+	out := tb.String()
+	if !strings.Contains(out, "only-one") {
+		t.Error("short row lost")
+	}
+}

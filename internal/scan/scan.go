@@ -1,0 +1,145 @@
+// Package scan models full-scan design: the assignment of a circuit's
+// flip-flops (and wrapper cells) to scan chains, chain balancing, and the
+// shift-cycle / idle-bit accounting that the paper's analysis deliberately
+// excludes ("we assume perfectly balanced scan chains ... the comparative
+// analysis focuses on useful (non-idle) test data bits only", Section 3).
+// The idle-bit model is used by the TAM ablation bench to quantify exactly
+// what that assumption leaves out.
+package scan
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Chain is one scan chain: an ordered list of scan cells. Cells are netlist
+// gate IDs of DFFs (or wrapper cells, which are modelled as DFFs).
+type Chain struct {
+	Cells []netlist.GateID
+}
+
+// Length returns the number of cells in the chain.
+func (ch *Chain) Length() int { return len(ch.Cells) }
+
+// Config is a complete scan configuration for one circuit.
+type Config struct {
+	Chains []Chain
+}
+
+// Build distributes the circuit's DFFs over n chains. Cells are dealt
+// round-robin in declaration order, which yields perfectly balanced chains
+// (lengths differ by at most one) — the paper's stated assumption.
+func Build(c *netlist.Circuit, n int) (Config, error) {
+	if n <= 0 {
+		return Config{}, fmt.Errorf("scan: chain count must be positive, got %d", n)
+	}
+	dffs := c.DFFs()
+	if n > len(dffs) && len(dffs) > 0 {
+		n = len(dffs)
+	}
+	cfg := Config{Chains: make([]Chain, n)}
+	for i, d := range dffs {
+		ch := &cfg.Chains[i%n]
+		ch.Cells = append(ch.Cells, d)
+	}
+	return cfg, nil
+}
+
+// BuildUnbalanced deals cells in contiguous runs of the given lengths; the
+// last chain takes any remainder. It exists to model the imbalanced-chain
+// scenario for the idle-bit ablation. Lengths must be positive.
+func BuildUnbalanced(c *netlist.Circuit, lengths []int) (Config, error) {
+	if len(lengths) == 0 {
+		return Config{}, fmt.Errorf("scan: no chain lengths given")
+	}
+	dffs := c.DFFs()
+	cfg := Config{}
+	pos := 0
+	for i, l := range lengths {
+		if l <= 0 {
+			return Config{}, fmt.Errorf("scan: chain %d has non-positive length %d", i, l)
+		}
+		end := pos + l
+		if end > len(dffs) {
+			end = len(dffs)
+		}
+		cfg.Chains = append(cfg.Chains, Chain{Cells: append([]netlist.GateID(nil), dffs[pos:end]...)})
+		pos = end
+		if pos == len(dffs) {
+			break
+		}
+	}
+	if pos < len(dffs) {
+		last := &cfg.Chains[len(cfg.Chains)-1]
+		last.Cells = append(last.Cells, dffs[pos:]...)
+	}
+	return cfg, nil
+}
+
+// NumCells returns the total number of scan cells across all chains.
+func (cfg *Config) NumCells() int {
+	n := 0
+	for i := range cfg.Chains {
+		n += cfg.Chains[i].Length()
+	}
+	return n
+}
+
+// MaxLength returns the longest chain length (the shift depth per pattern).
+func (cfg *Config) MaxLength() int {
+	m := 0
+	for i := range cfg.Chains {
+		if l := cfg.Chains[i].Length(); l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// Balanced reports whether chain lengths differ by at most one.
+func (cfg *Config) Balanced() bool {
+	if len(cfg.Chains) == 0 {
+		return true
+	}
+	min, max := cfg.Chains[0].Length(), cfg.Chains[0].Length()
+	for i := range cfg.Chains {
+		l := cfg.Chains[i].Length()
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	return max-min <= 1
+}
+
+// IdleBitsPerPattern returns the number of padding bits shifted per pattern
+// because shorter chains must wait for the longest one:
+// Σ_chains (maxLen − len). Zero for perfectly balanced chains with equal
+// lengths; at most len(chains)−1 for round-robin balanced chains.
+func (cfg *Config) IdleBitsPerPattern() int {
+	max := cfg.MaxLength()
+	idle := 0
+	for i := range cfg.Chains {
+		idle += max - cfg.Chains[i].Length()
+	}
+	return idle
+}
+
+// ShiftCycles returns the total shift cycles to apply p patterns
+// (load/unload overlapped): (p+1) * maxLen, the standard scan test length
+// approximation ignoring capture cycles.
+func (cfg *Config) ShiftCycles(p int) int64 {
+	if p <= 0 {
+		return 0
+	}
+	return int64(p+1) * int64(cfg.MaxLength())
+}
+
+// IdleBits returns the total idle (non-useful) bits shifted over p patterns.
+// This is the quantity the paper's "useful bits only" accounting excludes.
+func (cfg *Config) IdleBits(p int) int64 {
+	return int64(p) * int64(cfg.IdleBitsPerPattern())
+}

@@ -1,0 +1,167 @@
+package scan
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// makeDFFCircuit builds a circuit with n flip-flops in a shift chain.
+func makeDFFCircuit(t *testing.T, n int) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New(fmt.Sprintf("dff%d", n))
+	prev := c.MustAddGate("in", netlist.Input)
+	for i := 0; i < n; i++ {
+		prev = c.MustAddGate(fmt.Sprintf("ff%d", i), netlist.DFF, prev)
+	}
+	out := c.MustAddGate("out", netlist.Buf, prev)
+	if err := c.MarkOutput(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildBalanced(t *testing.T) {
+	c := makeDFFCircuit(t, 10)
+	cfg, err := Build(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Chains) != 3 {
+		t.Fatalf("chains = %d", len(cfg.Chains))
+	}
+	if cfg.NumCells() != 10 {
+		t.Errorf("cells = %d, want 10", cfg.NumCells())
+	}
+	if !cfg.Balanced() {
+		t.Error("round-robin chains must be balanced")
+	}
+	if cfg.MaxLength() != 4 {
+		t.Errorf("max length = %d, want 4", cfg.MaxLength())
+	}
+	// 10 cells over 3 chains: lengths 4,3,3 -> 2 idle bits per pattern.
+	if cfg.IdleBitsPerPattern() != 2 {
+		t.Errorf("idle bits per pattern = %d, want 2", cfg.IdleBitsPerPattern())
+	}
+	if cfg.IdleBits(100) != 200 {
+		t.Errorf("idle bits = %d, want 200", cfg.IdleBits(100))
+	}
+}
+
+func TestBuildClampsChainCount(t *testing.T) {
+	c := makeDFFCircuit(t, 2)
+	cfg, err := Build(c, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Chains) != 2 {
+		t.Errorf("chains = %d, want clamped to 2", len(cfg.Chains))
+	}
+	if cfg.IdleBitsPerPattern() != 0 {
+		t.Error("equal-length chains must have zero idle bits")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	c := makeDFFCircuit(t, 4)
+	if _, err := Build(c, 0); err == nil {
+		t.Error("zero chains accepted")
+	}
+	if _, err := BuildUnbalanced(c, nil); err == nil {
+		t.Error("empty lengths accepted")
+	}
+	if _, err := BuildUnbalanced(c, []int{0, 4}); err == nil {
+		t.Error("zero-length chain accepted")
+	}
+}
+
+func TestBuildUnbalanced(t *testing.T) {
+	c := makeDFFCircuit(t, 10)
+	cfg, err := BuildUnbalanced(c, []int{7, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Balanced() {
+		t.Error("7/3 chains reported balanced")
+	}
+	if cfg.NumCells() != 10 {
+		t.Errorf("cells = %d", cfg.NumCells())
+	}
+	if cfg.MaxLength() != 7 {
+		t.Errorf("max length = %d", cfg.MaxLength())
+	}
+	if cfg.IdleBitsPerPattern() != 4 {
+		t.Errorf("idle = %d, want 4", cfg.IdleBitsPerPattern())
+	}
+	// Remainder handling: lengths shorter than total.
+	cfg2, err := BuildUnbalanced(c, []int{4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.NumCells() != 10 {
+		t.Errorf("remainder lost: %d cells", cfg2.NumCells())
+	}
+	// Lengths exceeding the total stop early.
+	cfg3, err := BuildUnbalanced(c, []int{25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg3.NumCells() != 10 || len(cfg3.Chains) != 1 {
+		t.Errorf("overlong config wrong: %d cells in %d chains", cfg3.NumCells(), len(cfg3.Chains))
+	}
+}
+
+func TestShiftCycles(t *testing.T) {
+	c := makeDFFCircuit(t, 12)
+	cfg, _ := Build(c, 4)
+	if got := cfg.ShiftCycles(10); got != 11*3 {
+		t.Errorf("shift cycles = %d, want 33", got)
+	}
+	if cfg.ShiftCycles(0) != 0 {
+		t.Error("zero patterns must cost zero cycles")
+	}
+}
+
+func TestNoDFFs(t *testing.T) {
+	c := netlist.New("comb")
+	a := c.MustAddGate("a", netlist.Input)
+	y := c.MustAddGate("y", netlist.Not, a)
+	if err := c.MarkOutput(y); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Build(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumCells() != 0 || cfg.MaxLength() != 0 {
+		t.Error("combinational circuit must have empty scan")
+	}
+	if !cfg.Balanced() {
+		t.Error("empty config must be balanced")
+	}
+}
+
+// Property: round-robin balancing is optimal — idle bits per pattern are
+// strictly less than the chain count.
+func TestBalancedIdleBound(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for chains := 1; chains <= 8; chains++ {
+			c := makeDFFCircuit(t, n)
+			cfg, err := Build(c, chains)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.IdleBitsPerPattern() >= len(cfg.Chains) && cfg.NumCells() > 0 {
+				t.Fatalf("n=%d chains=%d: idle %d >= chains %d",
+					n, chains, cfg.IdleBitsPerPattern(), len(cfg.Chains))
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package sched implements abort-on-fail test scheduling for modular SOCs:
+// when manufacturing test stops at the first failing core, the order in
+// which core tests run determines the expected test time. This is the
+// scheduling dimension of the paper's references [15, 16] — another
+// benefit modular testing enables ("modular testing allows for careful
+// scheduling of its various component tests", Section 1) that a monolithic
+// test cannot exploit at all.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Test is one core test with its duration and (estimated) failure
+// probability in an abort-on-fail flow.
+type Test struct {
+	Name     string
+	Time     int64
+	FailProb float64 // probability this core fails, in [0, 1]
+}
+
+// ExpectedTime returns the expected test time of running the tests in the
+// given order with abort-on-first-fail:
+//
+//	E[t] = Σ_k t_k · Π_{j<k} (1 − p_j)
+//
+// i.e. test k only runs if everything before it passed.
+func ExpectedTime(order []Test) float64 {
+	reach := 1.0
+	var e float64
+	for _, t := range order {
+		e += float64(t.Time) * reach
+		reach *= 1 - t.FailProb
+	}
+	return e
+}
+
+// Optimize returns the order minimizing the expected abort-on-fail test
+// time. By the classic exchange argument, placing a before b is optimal
+// exactly when t_a·p_b ≤ t_b·p_a, so sorting by t/p ascending (with
+// never-failing tests last) is globally optimal.
+func Optimize(tests []Test) ([]Test, error) {
+	for _, t := range tests {
+		if t.FailProb < 0 || t.FailProb > 1 {
+			return nil, fmt.Errorf("sched: test %s has failure probability %v outside [0,1]", t.Name, t.FailProb)
+		}
+		if t.Time < 0 {
+			return nil, fmt.Errorf("sched: test %s has negative time", t.Name)
+		}
+	}
+	order := append([]Test(nil), tests...)
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		// a before b iff t_a · p_b < t_b · p_a; cross-multiplied so that
+		// never-failing tests (p = 0) naturally sort last.
+		return float64(a.Time)*b.FailProb < float64(b.Time)*a.FailProb
+	})
+	return order, nil
+}
+
+// SerialTime returns the abort-free total (every core passes).
+func SerialTime(tests []Test) int64 {
+	var t int64
+	for _, x := range tests {
+		t += x.Time
+	}
+	return t
+}
+
+// Improvement returns the expected-time saving of the optimal order over
+// the given baseline order, as a fraction of the baseline (0 when the
+// baseline expected time is zero).
+func Improvement(baseline []Test) (float64, error) {
+	opt, err := Optimize(baseline)
+	if err != nil {
+		return 0, err
+	}
+	base := ExpectedTime(baseline)
+	if base == 0 {
+		return 0, nil
+	}
+	return 1 - ExpectedTime(opt)/base, nil
+}

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpectedTime(t *testing.T) {
+	// Two tests: t1=10 p1=0.5, t2=20 p2=0.
+	// E = 10 + 0.5*20 = 20.
+	order := []Test{{Name: "a", Time: 10, FailProb: 0.5}, {Name: "b", Time: 20, FailProb: 0}}
+	if got := ExpectedTime(order); got != 20 {
+		t.Errorf("E = %v, want 20", got)
+	}
+	// Reversed: E = 20 + 1.0*10 = 30.
+	rev := []Test{order[1], order[0]}
+	if got := ExpectedTime(rev); got != 30 {
+		t.Errorf("E = %v, want 30", got)
+	}
+	if ExpectedTime(nil) != 0 {
+		t.Error("empty order must be 0")
+	}
+}
+
+func TestOptimizeOrdering(t *testing.T) {
+	tests := []Test{
+		{Name: "long-reliable", Time: 1000, FailProb: 0.01},
+		{Name: "short-flaky", Time: 10, FailProb: 0.5},
+		{Name: "medium", Time: 100, FailProb: 0.1},
+	}
+	opt, err := Optimize(tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t/p ratios: 100000, 20, 1000 -> short-flaky, medium, long-reliable.
+	want := []string{"short-flaky", "medium", "long-reliable"}
+	for i, w := range want {
+		if opt[i].Name != w {
+			t.Fatalf("position %d = %s, want %s", i, opt[i].Name, w)
+		}
+	}
+	// The optimal order must beat the given one.
+	if ExpectedTime(opt) >= ExpectedTime(tests) {
+		t.Errorf("optimal %v not better than baseline %v", ExpectedTime(opt), ExpectedTime(tests))
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	if _, err := Optimize([]Test{{Name: "x", Time: 1, FailProb: 1.5}}); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, err := Optimize([]Test{{Name: "x", Time: -1, FailProb: 0.5}}); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestZeroProbabilitySortsLast(t *testing.T) {
+	tests := []Test{
+		{Name: "never-fails", Time: 1, FailProb: 0},
+		{Name: "fails", Time: 1000, FailProb: 0.9},
+	}
+	opt, _ := Optimize(tests)
+	if opt[len(opt)-1].Name != "never-fails" {
+		t.Error("zero-probability test must sort last")
+	}
+}
+
+func TestSerialTimeAndImprovement(t *testing.T) {
+	tests := []Test{
+		{Name: "a", Time: 1000, FailProb: 0.01},
+		{Name: "b", Time: 10, FailProb: 0.5},
+	}
+	if SerialTime(tests) != 1010 {
+		t.Error("serial time wrong")
+	}
+	imp, err := Improvement(tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp <= 0 {
+		t.Errorf("improvement = %v, want > 0 for a bad baseline", imp)
+	}
+	// Already-optimal baseline: improvement 0.
+	opt, _ := Optimize(tests)
+	imp2, _ := Improvement(opt)
+	if math.Abs(imp2) > 1e-12 {
+		t.Errorf("optimal baseline improvement = %v", imp2)
+	}
+	if _, err := Improvement([]Test{{Name: "x", FailProb: 2}}); err == nil {
+		t.Error("bad baseline accepted")
+	}
+	zero, _ := Improvement(nil)
+	if zero != 0 {
+		t.Error("empty improvement must be 0")
+	}
+}
+
+// Property: the t/p order is optimal — no random permutation beats it
+// (checked against full enumeration for small n).
+func TestOptimizeIsGloballyOptimal(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4) // up to 5 tests: 120 permutations
+		tests := make([]Test, n)
+		for i := range tests {
+			tests[i] = Test{
+				Name:     string(rune('a' + i)),
+				Time:     int64(1 + r.Intn(1000)),
+				FailProb: float64(r.Intn(100)) / 100,
+			}
+		}
+		opt, err := Optimize(tests)
+		if err != nil {
+			return false
+		}
+		best := ExpectedTime(opt)
+		ok := true
+		permute(tests, func(p []Test) {
+			if ExpectedTime(p) < best-1e-9 {
+				ok = false
+			}
+		})
+		return ok
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// permute enumerates all permutations of ts (Heap's algorithm).
+func permute(ts []Test, visit func([]Test)) {
+	p := append([]Test(nil), ts...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			visit(p)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				p[i], p[k-1] = p[k-1], p[i]
+			} else {
+				p[0], p[k-1] = p[k-1], p[0]
+			}
+		}
+	}
+	rec(len(p))
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// WordBits is the number of patterns evaluated in parallel by PSim.
+const WordBits = 64
+
+// EvalGateWord evaluates one combinational gate over bit-parallel two-valued
+// fanin words (one bit per pattern).
+func EvalGateWord(t netlist.GateType, in []uint64) uint64 {
+	switch t {
+	case netlist.Buf:
+		return in[0]
+	case netlist.Not:
+		return ^in[0]
+	case netlist.And:
+		r := ^uint64(0)
+		for _, w := range in {
+			r &= w
+		}
+		return r
+	case netlist.Nand:
+		r := ^uint64(0)
+		for _, w := range in {
+			r &= w
+		}
+		return ^r
+	case netlist.Or:
+		var r uint64
+		for _, w := range in {
+			r |= w
+		}
+		return r
+	case netlist.Nor:
+		var r uint64
+		for _, w := range in {
+			r |= w
+		}
+		return ^r
+	case netlist.Xor:
+		var r uint64
+		for _, w := range in {
+			r ^= w
+		}
+		return r
+	case netlist.Xnor:
+		var r uint64
+		for _, w := range in {
+			r ^= w
+		}
+		return ^r
+	case netlist.Const0:
+		return 0
+	case netlist.Const1:
+		return ^uint64(0)
+	}
+	panic(fmt.Sprintf("sim: EvalGateWord on non-combinational gate type %v", t))
+}
+
+// PSim is a 64-way bit-parallel two-valued simulator. Bit k of every word
+// belongs to pattern k of the currently loaded batch. Patterns must be fully
+// specified; use Cube.Fill before loading.
+type PSim struct {
+	c       *netlist.Circuit
+	words   []uint64
+	ppis    []netlist.GateID
+	ppos    []netlist.GateID
+	n       int // patterns loaded in the current batch (1..64)
+	scratch []uint64
+}
+
+// NewPSim returns a bit-parallel simulator for the finalized circuit c.
+func NewPSim(c *netlist.Circuit) *PSim {
+	if !c.Finalized() {
+		panic("sim: circuit not finalized")
+	}
+	return &PSim{
+		c:     c,
+		words: make([]uint64, c.NumGates()),
+		ppis:  c.PseudoInputs(),
+		ppos:  c.PseudoOutputs(),
+	}
+}
+
+// Circuit returns the circuit being simulated.
+func (p *PSim) Circuit() *netlist.Circuit { return p.c }
+
+// Load packs up to 64 fully specified stimulus cubes into the input words.
+// X bits are conservatively loaded as 0. It returns the number of patterns
+// loaded (len(batch), which must be 1..64).
+func (p *PSim) Load(batch []logic.Cube) int {
+	if len(batch) == 0 || len(batch) > WordBits {
+		panic(fmt.Sprintf("sim: PSim.Load batch size %d out of range 1..%d", len(batch), WordBits))
+	}
+	for i := range p.words {
+		p.words[i] = 0
+	}
+	for k, cube := range batch {
+		if len(cube) != len(p.ppis) {
+			panic(fmt.Sprintf("sim: pattern %d length %d != %d pseudo inputs", k, len(cube), len(p.ppis)))
+		}
+		bit := uint64(1) << uint(k)
+		for i, id := range p.ppis {
+			if cube[i] == logic.One {
+				p.words[id] |= bit
+			}
+		}
+	}
+	p.n = len(batch)
+	return p.n
+}
+
+// Run evaluates the combinational logic for the loaded batch.
+func (p *PSim) Run() {
+	for _, id := range p.c.TopoOrder() {
+		g := p.c.Gate(id)
+		if cap(p.scratch) < len(g.Fanin) {
+			p.scratch = make([]uint64, len(g.Fanin))
+		}
+		in := p.scratch[:len(g.Fanin)]
+		for j, f := range g.Fanin {
+			in[j] = p.words[f]
+		}
+		p.words[id] = EvalGateWord(g.Type, in)
+	}
+}
+
+// Word returns the 64-pattern value word of gate id. Bits at positions at or
+// beyond the batch size are unspecified.
+func (p *PSim) Word(id netlist.GateID) uint64 { return p.words[id] }
+
+// SetWord overwrites the value word of a gate; used by fault simulation for
+// fault injection between Run passes.
+func (p *PSim) SetWord(id netlist.GateID, w uint64) { p.words[id] = w }
+
+// BatchSize returns the number of patterns in the current batch.
+func (p *PSim) BatchSize() int { return p.n }
+
+// Mask returns the word mask covering the valid patterns of the batch.
+func (p *PSim) Mask() uint64 {
+	if p.n >= WordBits {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(p.n)) - 1
+}
+
+// Response extracts the response cube of pattern k over the PseudoOutputs.
+func (p *PSim) Response(k int) logic.Cube {
+	if k < 0 || k >= p.n {
+		panic(fmt.Sprintf("sim: Response(%d) outside batch of %d", k, p.n))
+	}
+	r := make(logic.Cube, len(p.ppos))
+	bit := uint64(1) << uint(k)
+	for i, id := range p.ppos {
+		r[i] = logic.FromBool(p.words[id]&bit != 0)
+	}
+	return r
+}
+
+// ResponseWords returns the response words over the PseudoOutputs frame,
+// one word per observation site.
+func (p *PSim) ResponseWords() []uint64 {
+	r := make([]uint64, len(p.ppos))
+	for i, id := range p.ppos {
+		r[i] = p.words[id]
+	}
+	return r
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// SeqSim is a cycle-accurate sequential simulator: DFF state is held across
+// Step calls instead of being scanned in. It models the functional (non-test)
+// operation of a core and is used to sanity-check scan equivalence: one Step
+// equals one full-scan pattern whose PPI part is the current state.
+type SeqSim struct {
+	inner *Simulator
+	state []logic.V // per DFF, in DFF declaration order
+}
+
+// NewSeqSim returns a sequential simulator with all state initialized to X.
+func NewSeqSim(c *netlist.Circuit) *SeqSim {
+	s := &SeqSim{inner: New(c)}
+	s.state = make([]logic.V, len(c.DFFs()))
+	for i := range s.state {
+		s.state[i] = logic.X
+	}
+	return s
+}
+
+// ResetState forces every flip-flop to the given value (commonly Zero to
+// model a global reset, or X for power-on uncertainty).
+func (s *SeqSim) ResetState(v logic.V) {
+	for i := range s.state {
+		s.state[i] = v
+	}
+}
+
+// SetState assigns the state of the i-th flip-flop (declaration order).
+func (s *SeqSim) SetState(i int, v logic.V) { s.state[i] = v }
+
+// State returns a copy of the current flip-flop state vector.
+func (s *SeqSim) State() logic.Cube {
+	out := make(logic.Cube, len(s.state))
+	copy(out, s.state)
+	return out
+}
+
+// Step applies one clock cycle: primary inputs are driven with in, the
+// combinational logic settles, primary outputs are sampled, and every DFF
+// captures its data input. It returns the primary output values.
+func (s *SeqSim) Step(in logic.Cube) logic.Cube {
+	c := s.inner.Circuit()
+	if len(in) != len(c.Inputs()) {
+		panic(fmt.Sprintf("sim: Step input length %d != %d primary inputs", len(in), len(c.Inputs())))
+	}
+	stim := make(logic.Cube, 0, len(in)+len(s.state))
+	stim = append(stim, in...)
+	stim = append(stim, s.state...)
+	s.inner.ApplyStimulus(stim)
+	s.inner.Run()
+
+	out := make(logic.Cube, len(c.Outputs()))
+	for i, id := range c.Outputs() {
+		out[i] = s.inner.Value(id)
+	}
+	for i, d := range c.DFFs() {
+		s.state[i] = s.inner.Value(c.Gate(d).Fanin[0])
+	}
+	return out
+}
+
+// Value exposes the value of an arbitrary net after the last Step.
+func (s *SeqSim) Value(id netlist.GateID) logic.V { return s.inner.Value(id) }

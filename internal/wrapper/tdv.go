@@ -1,0 +1,68 @@
+package wrapper
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// BitsPerPattern is the wrapper-aware per-pattern test data accounting of
+// an isolated core, separating the roles of the cell classes:
+//
+//   - core scan cells carry a stimulus AND a response bit (2S),
+//   - input wrapper cells carry a stimulus bit only (their captured value
+//     is not observed in InTest),
+//   - output wrapper cells carry a response bit only (their shifted-in
+//     value is a don't-care).
+//
+// The total is exactly the 2S + I + O (+2B) of the paper's Equations 4-5.
+type BitsPerPattern struct {
+	ScanStimulus   int64 // S
+	ScanResponse   int64 // S
+	InputStimulus  int64 // I
+	OutputResponse int64 // O
+}
+
+// Total returns 2S + I + O.
+func (b BitsPerPattern) Total() int64 {
+	return b.ScanStimulus + b.ScanResponse + b.InputStimulus + b.OutputResponse
+}
+
+// AccountBits derives the wrapper-aware per-pattern accounting from a
+// structurally isolated core: the wrapped circuit's DFF population is
+// S + I + O, and the cell lists say which DFFs are wrapper cells. The
+// result ties the structural transform to the paper's formula — verified
+// in tests against core.Params for the same counts.
+func AccountBits(res *IsolationResult) (BitsPerPattern, error) {
+	if res == nil || res.Wrapped == nil {
+		return BitsPerPattern{}, fmt.Errorf("wrapper: nil isolation result")
+	}
+	isCell := make(map[netlist.GateID]bool, len(res.InputCells)+len(res.OutputCells))
+	for _, id := range res.InputCells {
+		isCell[id] = true
+	}
+	for _, id := range res.OutputCells {
+		if isCell[id] {
+			return BitsPerPattern{}, fmt.Errorf("wrapper: cell %s is both input and output",
+				res.Wrapped.Gate(id).Name)
+		}
+		isCell[id] = true
+	}
+	var b BitsPerPattern
+	for _, d := range res.Wrapped.DFFs() {
+		if !isCell[d] {
+			b.ScanStimulus++
+			b.ScanResponse++
+		}
+	}
+	b.InputStimulus = int64(len(res.InputCells))
+	b.OutputResponse = int64(len(res.OutputCells))
+	// Consistency: every wrapper cell must really be a DFF of the wrapped
+	// circuit.
+	for id := range isCell {
+		if res.Wrapped.Gate(id).Type != netlist.DFF {
+			return BitsPerPattern{}, fmt.Errorf("wrapper: cell %s is not a DFF", res.Wrapped.Gate(id).Name)
+		}
+	}
+	return b, nil
+}

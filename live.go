@@ -1,0 +1,170 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/atpg"
+	"repro/internal/bench89"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/soc"
+)
+
+// LiveOptions configures the live end-to-end experiments, which rebuild
+// the paper's SOC1/SOC2 study with real ATPG runs instead of published
+// pattern counts: generate the stand-in cores, run per-core ATPG, flatten
+// the SOC with isolation ripped out, run monolithic ATPG, and compare.
+type LiveOptions struct {
+	// ATPG are the test generation settings (DefaultATPGOptions if zero).
+	ATPG ATPGOptions
+	// GateScale scales the stand-in circuits' gate counts in (0, 1];
+	// 1.0 reproduces the full stand-ins, smaller values speed up the
+	// experiment at the cost of structural fidelity. Zero means 1.0.
+	GateScale float64
+	// Seed drives the deterministic pseudo-random inter-core wiring.
+	Seed int64
+	// InterconnectFraction is the fraction of core inputs wired to other
+	// cores' outputs in the flattened design (default 0.45).
+	InterconnectFraction float64
+}
+
+func (o LiveOptions) withDefaults() LiveOptions {
+	if o.ATPG == (ATPGOptions{}) {
+		o.ATPG = DefaultATPGOptions()
+	}
+	if o.GateScale <= 0 || o.GateScale > 1 {
+		o.GateScale = 1
+	}
+	if o.InterconnectFraction == 0 {
+		o.InterconnectFraction = 0.45
+	}
+	return o
+}
+
+// LiveCore is the measured profile of one core in a live experiment.
+type LiveCore struct {
+	Name      string
+	Inputs    int
+	Outputs   int
+	ScanCells int
+	Patterns  int
+	Coverage  float64
+}
+
+// LiveResult is the outcome of a live SOC experiment.
+type LiveResult struct {
+	Name  string
+	Cores []LiveCore
+	// TMono is the measured monolithic pattern count on the flattened SOC.
+	TMono        int
+	MonoCoverage float64
+	// MaxCoreT is max_i T_i; Equation 2 asserts TMono >= MaxCoreT.
+	MaxCoreT int
+	// SOC is the TDV model built from the measured values; its Analyze
+	// report carries the monolithic/modular comparison.
+	SOC    *SOC
+	Report Report
+}
+
+// Eq2Holds reports whether the measured monolithic pattern count is at
+// least the maximum per-core count — the paper's Equation 2.
+func (r *LiveResult) Eq2Holds() bool { return r.TMono >= r.MaxCoreT }
+
+// LiveSOC1 runs the live SOC1 experiment (paper Section 5.1, Table 1):
+// s713, s953 and three s1423 instances.
+func LiveSOC1(opts LiveOptions) (*LiveResult, error) {
+	return liveSOC("SOC1", []string{"s713", "s953", "s1423", "s1423", "s1423"}, opts)
+}
+
+// LiveSOC2 runs the live SOC2 experiment (paper Section 5.1, Table 2):
+// s953, s5378, s13207 and s15850. At GateScale 1 this is the most
+// expensive experiment in the repository (a ~7000-gate monolithic ATPG
+// run); pass a smaller GateScale for quick runs.
+func LiveSOC2(opts LiveOptions) (*LiveResult, error) {
+	return liveSOC("SOC2", []string{"s953", "s5378", "s13207", "s15850"}, opts)
+}
+
+func liveSOC(name string, coreNames []string, opts LiveOptions) (*LiveResult, error) {
+	opts = opts.withDefaults()
+	res := &LiveResult{Name: name}
+
+	var circuits []*netlist.Circuit
+	for i, cn := range coreNames {
+		prof, ok := bench89.ProfileByName(cn)
+		if !ok {
+			return nil, fmt.Errorf("repro: unknown core %q", cn)
+		}
+		// Distinct instances of the same core get distinct structures,
+		// like distinct placements of the same RTL would.
+		prof.Seed += int64(i) * 1013
+		prof.Gates = int(float64(prof.Gates) * opts.GateScale)
+		if min := prof.Outputs + 8; prof.Gates < min {
+			prof.Gates = min
+		}
+		c, err := bench89.Generate(prof)
+		if err != nil {
+			return nil, err
+		}
+		circuits = append(circuits, c)
+	}
+
+	// Per-core ATPG: each core tested as a wrapped, stand-alone unit.
+	for i, c := range circuits {
+		r := atpg.Generate(c, opts.ATPG)
+		st := c.ComputeStats()
+		res.Cores = append(res.Cores, LiveCore{
+			Name:      fmt.Sprintf("Core%d(%s)", i+1, coreNames[i]),
+			Inputs:    st.Inputs,
+			Outputs:   st.Outputs,
+			ScanCells: st.DFFs,
+			Patterns:  r.PatternCount(),
+			Coverage:  r.Coverage,
+		})
+		if r.PatternCount() > res.MaxCoreT {
+			res.MaxCoreT = r.PatternCount()
+		}
+	}
+
+	// Monolithic: flatten with isolation ripped out and rerun ATPG.
+	flat, err := soc.Flatten(name+"-flat", circuits, soc.FlattenOptions{
+		Seed:                 opts.Seed,
+		InterconnectFraction: opts.InterconnectFraction,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mono := atpg.Generate(flat, opts.ATPG)
+	res.TMono = mono.PatternCount()
+	res.MonoCoverage = mono.Coverage
+
+	// Build the TDV model from the measured values.
+	fs := flat.ComputeStats()
+	top := &core.Module{
+		Name:                  "Top",
+		Params:                core.Params{Inputs: fs.Inputs, Outputs: fs.Outputs},
+		PortsTesterAccessible: true,
+	}
+	for _, lc := range res.Cores {
+		top.Children = append(top.Children, &core.Module{
+			Name: lc.Name,
+			Params: core.Params{
+				Inputs:    lc.Inputs,
+				Outputs:   lc.Outputs,
+				ScanCells: lc.ScanCells,
+				Patterns:  lc.Patterns,
+			},
+		})
+	}
+	res.SOC = &core.SOC{Name: name + "-live", Top: top, TMono: res.TMono}
+	res.Report = res.SOC.Analyze()
+	return res, nil
+}
+
+// RenderLive renders a live experiment result in the Table 1/2 layout,
+// with the Equation 2 verdict underneath.
+func RenderLive(r *LiveResult) string {
+	out := renderSOCTable(fmt.Sprintf("Live %s experiment (measured ATPG pattern counts)", r.Name), r.SOC)
+	out += fmt.Sprintf("Eq.2 check: T_mono = %d >= max core T = %d: %v (mono coverage %.1f%%)\n",
+		r.TMono, r.MaxCoreT, r.Eq2Holds(), r.MonoCoverage*100)
+	return out
+}
