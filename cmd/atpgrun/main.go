@@ -7,6 +7,15 @@
 //	atpgrun -f core.bench [-backtrack 100] [-random 64] [-compact] [-seed 1] [-v]
 //	atpgrun -standin s953          # run on a generated ISCAS'89 stand-in
 //	atpgrun -f core.bench -cones   # per-cone decomposition (paper Sec. 3)
+//
+// Observability:
+//
+//	atpgrun -standin s953 -trace run.jsonl   # structured event trace (JSONL)
+//	atpgrun -standin s953 -metrics           # end-of-run counters to stderr
+//	atpgrun -standin s953 -json              # machine-readable run manifest to stdout
+//	atpgrun -standin s953 -cpuprofile cpu.pb # CPU profile of the run
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
 package main
 
 import (
@@ -16,10 +25,14 @@ import (
 
 	"repro/internal/atpg"
 	"repro/internal/bench89"
+	"repro/internal/cli"
 	"repro/internal/cones"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
+
+const prog = "atpgrun"
 
 func main() {
 	var (
@@ -31,8 +44,26 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for the random phase and X-fill")
 		verbose   = flag.Bool("v", false, "list aborted and redundant faults")
 		coneMode  = flag.Bool("cones", false, "per-cone analysis instead of whole-circuit ATPG")
+		jsonOut   = flag.Bool("json", false, "write the run manifest as JSON to stdout instead of the human summary")
 	)
+	var ob cli.Obs
+	ob.Register(flag.CommandLine)
 	flag.Parse()
+
+	col := ob.Start(prog)
+	reg := ob.Registry()
+	if *jsonOut && reg == nil {
+		// The manifest embeds a metrics snapshot, so -json alone still
+		// collects metrics (but no trace, no profile).
+		reg = obs.NewRegistry()
+		col = obs.New(reg, nil)
+	}
+
+	man := obs.NewManifest(prog, *seed)
+	man.SetOption("backtrack", *backtrack)
+	man.SetOption("random", *random)
+	man.SetOption("compact", *compact)
+	man.SetOption("cones", *coneMode)
 
 	var (
 		c   *netlist.Circuit
@@ -42,13 +73,15 @@ func main() {
 	case *standin != "":
 		prof, ok := bench89.ProfileByName(*standin)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "atpgrun: unknown stand-in %q\n", *standin)
-			os.Exit(2)
+			cli.Usagef(prog, "unknown stand-in %q", *standin)
 		}
-		c, err = bench89.Generate(prof)
+		man.SetOption("circuit", *standin)
+		c, err = bench89.GenerateObserved(prof, col)
 	case *file == "-":
+		man.SetOption("circuit", "stdin")
 		c, err = netlist.ParseBench("stdin", os.Stdin)
 	case *file != "":
+		man.SetOption("circuit", *file)
 		var f *os.File
 		f, err = os.Open(*file)
 		if err == nil {
@@ -56,51 +89,75 @@ func main() {
 			c, err = netlist.ParseBench(*file, f)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "atpgrun: need -f <file> or -standin <name>; see -help")
-		os.Exit(2)
+		cli.Usagef(prog, "need -f <file> or -standin <name>; see -help")
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "atpgrun: %v\n", err)
-		os.Exit(1)
-	}
+	cli.Check(prog, err)
 
-	fmt.Println(c.ComputeStats())
+	if !*jsonOut {
+		fmt.Println(c.ComputeStats())
+	}
 	opts := atpg.Options{
 		BacktrackLimit: *backtrack,
 		RandomPatterns: *random,
 		Compact:        *compact,
 		Seed:           *seed,
+		Obs:            col,
 	}
 
 	if *coneMode {
 		a, err := cones.Analyze(c, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "atpgrun: %v\n", err)
-			os.Exit(1)
+		cli.Check(prog, err)
+		if !*jsonOut {
+			t := report.New("Per-cone ATPG profile", "Apex", "Width", "Gates", "Patterns", "Coverage")
+			for _, p := range a.Profiles {
+				t.AddRow(p.Apex, fmt.Sprint(p.Width), fmt.Sprint(p.Size),
+					fmt.Sprint(p.Patterns), fmt.Sprintf("%.1f%%", p.Coverage*100))
+			}
+			fmt.Println(t.String())
+			fmt.Println(a.String())
 		}
-		t := report.New("Per-cone ATPG profile", "Apex", "Width", "Gates", "Patterns", "Coverage")
-		for _, p := range a.Profiles {
-			t.AddRow(p.Apex, fmt.Sprint(p.Width), fmt.Sprint(p.Size),
-				fmt.Sprint(p.Patterns), fmt.Sprintf("%.1f%%", p.Coverage*100))
-		}
-		fmt.Println(t.String())
-		fmt.Println(a.String())
+		man.SetResult("cones", len(a.Profiles))
+		man.SetResult("max_patterns", a.MaxPatterns())
+		man.SetResult("norm_stdev", cones.NormStdev(a.PatternCounts()))
+		man.SetResult("overlap_pairs", a.OverlapPairs)
+		finish(&ob, man, reg, *jsonOut)
 		return
 	}
 
 	res := atpg.Generate(c, opts)
-	fmt.Printf("faults (collapsed):  %d\n", res.NumFaults)
-	fmt.Printf("detected:            %d\n", res.NumDetected)
-	fmt.Printf("redundant (proven):  %d\n", res.NumRedundant)
-	fmt.Printf("aborted:             %d\n", res.NumAborted)
-	fmt.Printf("coverage:            %.2f%% (effective %.2f%%)\n", res.Coverage*100, res.EffectiveCoverage*100)
-	fmt.Printf("patterns:            %d (from %d generated cubes)\n", res.PatternCount(), len(res.Cubes))
+	if !*jsonOut {
+		fmt.Printf("faults (collapsed):  %d\n", res.NumFaults)
+		fmt.Printf("detected:            %d\n", res.NumDetected)
+		fmt.Printf("redundant (proven):  %d\n", res.NumRedundant)
+		fmt.Printf("aborted:             %d\n", res.NumAborted)
+		fmt.Printf("coverage:            %.2f%% (effective %.2f%%)\n", res.Coverage*100, res.EffectiveCoverage*100)
+		fmt.Printf("patterns:            %d (from %d generated cubes)\n", res.PatternCount(), len(res.Cubes))
 
-	if *verbose {
-		for _, o := range res.Outcomes {
-			if o.Status != atpg.Detected {
-				fmt.Printf("  %-9s %s\n", o.Status, o.Fault.String(c))
+		if *verbose {
+			for _, o := range res.Outcomes {
+				if o.Status != atpg.Detected {
+					fmt.Printf("  %-9s %s\n", o.Status, o.Fault.String(c))
+				}
 			}
 		}
+	}
+	man.SetResult("faults", res.NumFaults)
+	man.SetResult("detected", res.NumDetected)
+	man.SetResult("redundant", res.NumRedundant)
+	man.SetResult("aborted", res.NumAborted)
+	man.SetResult("coverage", res.Coverage)
+	man.SetResult("effective_coverage", res.EffectiveCoverage)
+	man.SetResult("patterns", res.PatternCount())
+	man.SetResult("cubes", len(res.Cubes))
+	finish(&ob, man, reg, *jsonOut)
+}
+
+// finish seals the manifest, emits it as the final trace event, shuts the
+// observability stack down, and prints the manifest to stdout with -json.
+func finish(ob *cli.Obs, man *obs.Manifest, reg *obs.Registry, jsonOut bool) {
+	man.Finish(reg)
+	ob.Stop(man)
+	if jsonOut {
+		cli.Check(prog, man.WriteJSON(os.Stdout))
 	}
 }

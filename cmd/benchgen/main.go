@@ -7,6 +7,8 @@
 //	benchgen -name s953 -seed 7         # alternative structure
 //	benchgen -i 20 -o 10 -ff 30 -gates 400 -name custom
 //	benchgen -list                      # available standard profiles
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
 package main
 
 import (
@@ -15,8 +17,11 @@ import (
 	"os"
 
 	"repro/internal/bench89"
+	"repro/internal/cli"
 	"repro/internal/netlist"
 )
+
+const prog = "benchgen"
 
 func main() {
 	var (
@@ -37,15 +42,13 @@ func main() {
 		return
 	}
 	if *name == "" {
-		fmt.Fprintln(os.Stderr, "benchgen: -name required; see -help")
-		os.Exit(2)
+		cli.Usagef(prog, "-name required; see -help")
 	}
 
 	prof, ok := bench89.ProfileByName(*name)
 	if !ok {
 		if *in <= 0 || *out <= 0 || *gates <= 0 {
-			fmt.Fprintf(os.Stderr, "benchgen: %q is not a standard profile; custom profiles need -i, -o and -gates\n", *name)
-			os.Exit(2)
+			cli.Usagef(prog, "%q is not a standard profile; custom profiles need -i, -o and -gates", *name)
 		}
 		prof = bench89.Profile{Name: *name, Inputs: *in, Outputs: *out, DFFs: *ff, Gates: *gates, Seed: 1}
 	}
@@ -53,12 +56,6 @@ func main() {
 		prof.Seed = *seed
 	}
 	c, err := bench89.Generate(prof)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
-		os.Exit(1)
-	}
-	if err := netlist.WriteBench(os.Stdout, c); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
-		os.Exit(1)
-	}
+	cli.Check(prog, err)
+	cli.Check(prog, netlist.WriteBench(os.Stdout, c))
 }

@@ -7,17 +7,21 @@
 //	itc02x                 # Table 3 and Table 4
 //	itc02x -soc d695       # detailed report for one benchmark
 //	itc02x -emit p34392    # dump a benchmark in the .soc text format
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/itc02"
 	"repro/internal/report"
 )
+
+const prog = "itc02x"
 
 func main() {
 	var (
@@ -25,22 +29,19 @@ func main() {
 		emit = flag.String("emit", "", "dump one benchmark SOC in the text format")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		cli.Usagef(prog, "unexpected arguments %v; see -help", flag.Args())
+	}
 
 	if *emit != "" {
 		s, err := itc02.SOCByName(*emit)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "itc02x: %v\n", err)
-			os.Exit(1)
-		}
+		cli.Check(prog, err)
 		fmt.Print(itc02.SOCString(s))
 		return
 	}
 	if *one != "" {
 		s, err := itc02.SOCByName(*one)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "itc02x: %v\n", err)
-			os.Exit(1)
-		}
+		cli.Check(prog, err)
 		t := report.New(fmt.Sprintf("%s per-module TDV", s.Name),
 			"Module", "I", "O", "B", "S", "T", "TDV")
 		for _, m := range s.Modules() {
@@ -60,9 +61,6 @@ func main() {
 	fmt.Println(repro.RenderFigure3())
 	fmt.Println(repro.RenderTable3())
 	t4, err := repro.RenderTable4()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "itc02x: %v\n", err)
-		os.Exit(1)
-	}
+	cli.Check(prog, err)
 	fmt.Println(t4)
 }

@@ -9,6 +9,13 @@
 //	socx                     # Tables 1 and 2 from the published profiles
 //	socx -live -soc SOC1     # live experiment on SOC1
 //	socx -live -soc SOC2 -scale 0.4
+//
+// Observability (most useful with -live):
+//
+//	socx -live -soc SOC1 -trace run.jsonl -metrics -cpuprofile cpu.pb
+//	socx -live -soc SOC1 -json           # run manifest as JSON to stdout
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
 package main
 
 import (
@@ -17,42 +24,85 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/cli"
+	"repro/internal/obs"
 )
+
+const prog = "socx"
 
 func main() {
 	var (
-		live  = flag.Bool("live", false, "run the live ATPG experiment instead of the published profiles")
-		which = flag.String("soc", "both", "SOC1, SOC2 or both")
-		scale = flag.Float64("scale", 1.0, "gate-count scale for the live stand-ins, in (0,1]")
-		seed  = flag.Int64("seed", 1, "interconnect seed for the live flattening")
+		live    = flag.Bool("live", false, "run the live ATPG experiment instead of the published profiles")
+		which   = flag.String("soc", "both", "SOC1, SOC2 or both")
+		scale   = flag.Float64("scale", 1.0, "gate-count scale for the live stand-ins, in (0,1]")
+		seed    = flag.Int64("seed", 1, "interconnect seed for the live flattening")
+		jsonOut = flag.Bool("json", false, "write the run manifest as JSON to stdout instead of the rendered tables")
 	)
+	var ob cli.Obs
+	ob.Register(flag.CommandLine)
 	flag.Parse()
+
+	switch *which {
+	case "SOC1", "SOC2", "both":
+	default:
+		cli.Usagef(prog, "-soc must be SOC1, SOC2 or both, not %q", *which)
+	}
+
+	col := ob.Start(prog)
+	reg := ob.Registry()
+	if *jsonOut && reg == nil {
+		reg = obs.NewRegistry()
+		col = obs.New(reg, nil)
+	}
+	man := obs.NewManifest(prog, *seed)
+	man.SetOption("live", *live)
+	man.SetOption("soc", *which)
+	man.SetOption("scale", *scale)
 
 	if !*live {
 		if *which == "SOC1" || *which == "both" {
 			fmt.Println(repro.RenderTable1())
 			fmt.Println(repro.RenderFigure4())
+			man.SetResult("soc1_tdv_modular", repro.SOC1().TDVModular())
 		}
 		if *which == "SOC2" || *which == "both" {
 			fmt.Println(repro.RenderTable2())
 			fmt.Println(repro.RenderFigure5())
+			man.SetResult("soc2_tdv_modular", repro.SOC2().TDVModular())
 		}
+		finish(&ob, man, reg, *jsonOut)
 		return
 	}
 
-	opts := repro.LiveOptions{GateScale: *scale, Seed: *seed}
+	opts := repro.LiveOptions{GateScale: *scale, Seed: *seed, Obs: col}
 	run := func(name string, f func(repro.LiveOptions) (*repro.LiveResult, error)) {
 		r, err := f(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "socx: %s: %v\n", name, err)
-			os.Exit(1)
+			cli.Fatalf(prog, "%s: %v", name, err)
 		}
-		fmt.Println(repro.RenderLive(r))
+		if !*jsonOut {
+			fmt.Println(repro.RenderLive(r))
+		}
+		man.SetResult(name+"_t_mono", r.TMono)
+		man.SetResult(name+"_max_core_t", r.MaxCoreT)
+		man.SetResult(name+"_eq2_holds", r.Eq2Holds())
+		man.SetResult(name+"_mono_coverage", r.MonoCoverage)
 	}
 	if *which == "SOC1" || *which == "both" {
 		run("SOC1", repro.LiveSOC1)
 	}
 	if *which == "SOC2" || *which == "both" {
 		run("SOC2", repro.LiveSOC2)
+	}
+	finish(&ob, man, reg, *jsonOut)
+}
+
+// finish seals the manifest, emits it as the final trace event, shuts the
+// observability stack down, and prints the manifest to stdout with -json.
+func finish(ob *cli.Obs, man *obs.Manifest, reg *obs.Registry, jsonOut bool) {
+	man.Finish(reg)
+	ob.Stop(man)
+	if jsonOut {
+		cli.Check(prog, man.WriteJSON(os.Stdout))
 	}
 }

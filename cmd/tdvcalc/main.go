@@ -9,6 +9,8 @@
 // The input format is the line-oriented SOC description of internal/itc02
 // (run with -example to print a template). -builtin accepts any of the ten
 // ITC'02 Table 4 SOC names.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
 package main
 
 import (
@@ -16,10 +18,13 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/itc02"
 	"repro/internal/report"
 )
+
+const prog = "tdvcalc"
 
 func main() {
 	var (
@@ -52,13 +57,9 @@ func main() {
 			s, err = itc02.ParseSOC(f)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "tdvcalc: need -f <file> or -builtin <name>; see -help")
-		os.Exit(2)
+		cli.Usagef(prog, "need -f <file> or -builtin <name>; see -help")
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tdvcalc: %v\n", err)
-		os.Exit(1)
-	}
+	cli.Check(prog, err)
 	if *tmono >= 0 {
 		s.TMono = *tmono
 	}

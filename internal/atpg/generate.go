@@ -9,6 +9,7 @@ import (
 	"repro/internal/faultsim"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Options configures test generation.
@@ -39,6 +40,11 @@ type Options struct {
 	// Seed drives the random phase and the X-fill, making runs
 	// reproducible.
 	Seed int64
+	// Obs receives instrumentation when non-nil: search-effort counters
+	// (backtracks, decisions, implications), per-fault outcome events,
+	// phase spans and the fault simulator's coverage curve. The nil
+	// default keeps the hot path free of any observability cost.
+	Obs *obs.Collector
 }
 
 // DefaultOptions returns the settings used by the paper-reproduction
@@ -106,12 +112,25 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 	engine := faultsim.NewEngine(c, flist)
 	width := len(c.PseudoInputs())
 
+	col := opts.Obs
+	spanGen := col.StartSpan("atpg.generate")
+	if col.Tracing() {
+		col.Emit("atpg.start",
+			obs.F("circuit", c.Name),
+			obs.F("faults", len(flist)),
+			obs.F("inputs", width),
+			obs.F("backtrack_limit", opts.BacktrackLimit),
+			obs.F("random_patterns", opts.RandomPatterns),
+			obs.F("seed", opts.Seed))
+	}
+
 	var cubes []logic.Cube
 
 	// Phase 1: random bootstrap. Apply the whole budget, then keep only
 	// the patterns that are some fault's first detector — dropping the
 	// rest cannot lose any detection.
 	if opts.RandomPatterns > 0 && width > 0 {
+		spanRand := col.StartSpan("atpg.phase.random")
 		randPats := make([]logic.Cube, opts.RandomPatterns)
 		for i := range randPats {
 			p := make(logic.Cube, width)
@@ -132,11 +151,26 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 				cubes = append(cubes, p)
 			}
 		}
+		// The random-vs-deterministic detection split of the final set is
+		// decided here: these faults never become PODEM targets.
+		col.Counter("atpg.detected.random").Add(int64(engine.DetectedCount()))
+		col.Counter("atpg.random.kept").Add(int64(len(cubes)))
+		if col.Tracing() {
+			col.Emit("atpg.random",
+				obs.F("budget", opts.RandomPatterns),
+				obs.F("kept", len(cubes)),
+				obs.F("detected", engine.DetectedCount()))
+		}
+		spanRand.End()
 	}
 
 	// Phase 2: deterministic PODEM with fault dropping.
 	engine = rebaseEngine(c, flist, cubes) // re-index detections onto kept patterns
-	pd := newPodem(c, opts.BacktrackLimit)
+	engine.Instrument(col)
+	pd := newPodem(c, opts.BacktrackLimit, col)
+	cTargeted := col.Counter("atpg.faults.targeted")
+	cDetDet := col.Counter("atpg.detected.deterministic")
+	spanPodem := col.StartSpan("atpg.phase.podem")
 	failed := make(map[faults.Fault]Status)
 	for {
 		var target *faults.Fault
@@ -150,9 +184,18 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 		if target == nil {
 			break
 		}
+		cTargeted.Inc()
 		cube, status := pd.run(*target)
+		if col.Tracing() {
+			col.Emit("atpg.fault",
+				obs.F("fault", target.String(c)),
+				obs.F("status", status.String()),
+				obs.F("backtracks", pd.backtracks),
+				obs.F("pass", 1))
+		}
 		switch status {
 		case Detected:
+			cDetDet.Inc()
 			if !faultsim.SerialDetects(c, padCube(cube, width), *target) {
 				// A cube that fails verification indicates a search bug;
 				// never silently accept it.
@@ -169,11 +212,13 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 			res.Outcomes = append(res.Outcomes, Outcome{*target, status})
 		}
 	}
+	spanPodem.End()
 	// Phase 2b: escalation passes over the aborted faults.
 	limit := opts.BacktrackLimit
 	for pass := 2; pass <= opts.Passes; pass++ {
 		limit *= 10
-		retry := newPodem(c, limit)
+		spanEsc := col.StartSpan("atpg.phase.escalate")
+		retry := newPodem(c, limit, col)
 		var targets []faults.Fault
 		for f, st := range failed {
 			if st == Aborted {
@@ -181,10 +226,19 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 			}
 		}
 		sortFaults(targets)
+		col.Counter("atpg.escalated").Add(int64(len(targets)))
 		for _, f := range targets {
 			cube, status := retry.run(f)
+			if col.Tracing() {
+				col.Emit("atpg.fault",
+					obs.F("fault", f.String(c)),
+					obs.F("status", status.String()),
+					obs.F("backtracks", retry.backtracks),
+					obs.F("pass", pass))
+			}
 			switch status {
 			case Detected:
+				cDetDet.Inc()
 				if !faultsim.SerialDetects(c, padCube(cube, width), f) {
 					panic(fmt.Sprintf("atpg: retry cube does not detect %s", f.String(c)))
 				}
@@ -199,6 +253,7 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 				// Stays aborted; a later pass may escalate again.
 			}
 		}
+		spanEsc.End()
 	}
 	res.Cubes = cubes
 
@@ -207,6 +262,7 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 	// generation loop credited survives into the final set. The compacted
 	// path uses random fill (better fortuitous coverage) and repairs any
 	// fill-dependent loss with the top-up loop below.
+	spanCompact := col.StartSpan("atpg.phase.compact")
 	patterns := fillZero(cubes)
 	if opts.Compact {
 		merged := mergeCubes(cubes)
@@ -237,6 +293,7 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 			}
 		}
 	}
+	spanCompact.End()
 	res.Patterns = patterns
 
 	// Final authoritative accounting.
@@ -257,6 +314,22 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 	} else {
 		res.EffectiveCoverage = float64(res.NumDetected) / float64(den)
 	}
+	col.Gauge("atpg.patterns").Set(int64(res.PatternCount()))
+	col.Gauge("atpg.cubes").Set(int64(len(res.Cubes)))
+	col.Counter("atpg.detected").Add(int64(res.NumDetected))
+	col.Counter("atpg.redundant").Add(int64(res.NumRedundant))
+	col.Counter("atpg.aborted").Add(int64(res.NumAborted))
+	if col.Tracing() {
+		col.Emit("atpg.result",
+			obs.F("circuit", c.Name),
+			obs.F("patterns", res.PatternCount()),
+			obs.F("cubes", len(res.Cubes)),
+			obs.F("detected", res.NumDetected),
+			obs.F("redundant", res.NumRedundant),
+			obs.F("aborted", res.NumAborted),
+			obs.F("coverage", res.Coverage))
+	}
+	spanGen.End()
 	return res
 }
 
@@ -298,6 +371,13 @@ func extendCube(c *netlist.Circuit, pd *podem, engine *faultsim.Engine,
 			panic("atpg: dynamic extension broke the primary detection")
 		}
 		cube = extended
+		opts.Obs.Counter("atpg.detected.secondary").Inc()
+		if opts.Obs.Tracing() {
+			opts.Obs.Emit("atpg.fault",
+				obs.F("fault", g.String(c)),
+				obs.F("status", Detected.String()),
+				obs.F("secondary", true))
+		}
 		res.Outcomes = append(res.Outcomes, Outcome{g, Detected})
 	}
 	return cube

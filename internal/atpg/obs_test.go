@@ -1,0 +1,117 @@
+package atpg
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestGenerateInstrumented runs generation with full observability on and
+// checks the counters and trace agree with the Result: every targeted
+// fault produced exactly one pass-1 event, detection counters add up, and
+// the final atpg.result event matches the returned pattern count.
+func TestGenerateInstrumented(t *testing.T) {
+	c := randomCircuit(t, 42, 10, 80, 5, 6)
+
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	col := obs.New(reg, obs.NewJSONLSink(&buf))
+	opts := DefaultOptions()
+	opts.Passes = 2
+	opts.DynamicCompact = true
+	opts.Obs = col
+
+	res := Generate(c, opts)
+	snap := reg.Snapshot()
+
+	if snap.Counters["atpg.decisions"] == 0 || snap.Counters["atpg.implications"] == 0 {
+		t.Errorf("search-effort counters empty: %v", snap.Counters)
+	}
+	if snap.Counters["atpg.faults.targeted"] == 0 {
+		t.Error("no faults targeted")
+	}
+	if got, want := snap.Counters["atpg.detected"], int64(res.NumDetected); got != want {
+		t.Errorf("atpg.detected = %d, want %d", got, want)
+	}
+	if got, want := snap.Gauges["atpg.patterns"], int64(res.PatternCount()); got != want {
+		t.Errorf("atpg.patterns gauge = %d, want %d", got, want)
+	}
+	// Detection split: random + deterministic primaries must cover every
+	// fault the generation loop credited (fortuitous/secondary detections
+	// can add more, never fewer).
+	if snap.Counters["atpg.detected.random"]+snap.Counters["atpg.detected.deterministic"] == 0 {
+		t.Error("no detection split recorded")
+	}
+	for _, name := range []string{"atpg.generate", "atpg.phase.random", "atpg.phase.podem", "atpg.phase.compact"} {
+		if snap.Timers[name].Count == 0 {
+			t.Errorf("phase timer %q never fired", name)
+		}
+	}
+	if snap.Counters["faultsim.patterns.applied"] == 0 {
+		t.Error("fault-sim work counters empty")
+	}
+
+	var faultEvents, pass1 int64
+	var result struct {
+		Patterns int     `json:"patterns"`
+		Coverage float64 `json:"coverage"`
+	}
+	sawResult := false
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line does not parse: %v\n%s", err, line)
+		}
+		switch ev["event"] {
+		case "atpg.fault":
+			faultEvents++
+			if p, ok := ev["pass"].(float64); ok && p == 1 {
+				pass1++
+			}
+		case "atpg.result":
+			sawResult = true
+			result.Patterns = int(ev["patterns"].(float64))
+			result.Coverage = ev["coverage"].(float64)
+		}
+	}
+	if !sawResult {
+		t.Fatal("no atpg.result event in trace")
+	}
+	if result.Patterns != res.PatternCount() {
+		t.Errorf("traced patterns %d != result %d", result.Patterns, res.PatternCount())
+	}
+	if result.Coverage != res.Coverage {
+		t.Errorf("traced coverage %v != result %v", result.Coverage, res.Coverage)
+	}
+	if pass1 < snap.Counters["atpg.faults.targeted"] {
+		t.Errorf("pass-1 fault events %d < targeted %d", pass1, snap.Counters["atpg.faults.targeted"])
+	}
+}
+
+// TestGenerateObsOffIsPureNoop asserts opts.Obs = nil yields a result
+// byte-identical to the seed behavior (instrumentation must not perturb
+// the search or the RNG stream).
+func TestGenerateObsOffIsPureNoop(t *testing.T) {
+	c := randomCircuit(t, 9, 8, 60, 4, 4)
+	plain := Generate(c, DefaultOptions())
+
+	opts := DefaultOptions()
+	opts.Obs = obs.New(obs.NewRegistry(), nil)
+	instrumented := Generate(c, opts)
+
+	if plain.PatternCount() != instrumented.PatternCount() {
+		t.Fatalf("instrumentation changed pattern count: %d vs %d",
+			plain.PatternCount(), instrumented.PatternCount())
+	}
+	for i := range plain.Patterns {
+		if plain.Patterns[i].String() != instrumented.Patterns[i].String() {
+			t.Fatalf("instrumentation changed pattern %d", i)
+		}
+	}
+	if plain.Coverage != instrumented.Coverage {
+		t.Fatalf("instrumentation changed coverage")
+	}
+}

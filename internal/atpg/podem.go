@@ -16,6 +16,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -63,21 +64,29 @@ type podem struct {
 	backtracks int
 	limit      int
 
+	// Search-effort counters (nil when observability is disabled).
+	cBacktracks   *obs.Counter // atpg.backtracks
+	cDecisions    *obs.Counter // atpg.decisions
+	cImplications *obs.Counter // atpg.implications
+
 	scratch []logic.V
 	xreach  []bool // scratch for the X-path check
 	xmark   []bool
 }
 
-func newPodem(c *netlist.Circuit, limit int) *podem {
+func newPodem(c *netlist.Circuit, limit int, col *obs.Collector) *podem {
 	p := &podem{
-		c:      c,
-		values: make([]logic.V, c.NumGates()),
-		ppis:   c.PseudoInputs(),
-		ppos:   c.PseudoOutputs(),
-		piPos:  make(map[netlist.GateID]int),
-		limit:  limit,
-		xreach: make([]bool, c.NumGates()),
-		xmark:  make([]bool, c.NumGates()),
+		c:             c,
+		values:        make([]logic.V, c.NumGates()),
+		ppis:          c.PseudoInputs(),
+		ppos:          c.PseudoOutputs(),
+		piPos:         make(map[netlist.GateID]int),
+		limit:         limit,
+		cBacktracks:   col.Counter("atpg.backtracks"),
+		cDecisions:    col.Counter("atpg.decisions"),
+		cImplications: col.Counter("atpg.implications"),
+		xreach:        make([]bool, c.NumGates()),
+		xmark:         make([]bool, c.NumGates()),
 	}
 	for i, id := range p.ppis {
 		p.piPos[id] = i
@@ -112,6 +121,7 @@ func (p *podem) runWithBase(f faults.Fault, base logic.Cube) (logic.Cube, Status
 
 	var stack []assignment
 	for {
+		p.cImplications.Inc()
 		p.imply(stack)
 		switch p.state() {
 		case searchSuccess:
@@ -140,6 +150,7 @@ func (p *podem) runWithBase(f faults.Fault, base logic.Cube) (logic.Cube, Status
 				}
 				continue
 			}
+			p.cDecisions.Inc()
 			stack = append(stack, assignment{pi: pi, value: v})
 		case searchDead:
 			var done bool
@@ -161,6 +172,7 @@ func (p *podem) runWithBase(f faults.Fault, base logic.Cube) (logic.Cube, Status
 // It reports done=true when the whole space is exhausted.
 func (p *podem) backtrack(stack []assignment) ([]assignment, bool) {
 	p.backtracks++
+	p.cBacktracks.Inc()
 	for len(stack) > 0 {
 		top := &stack[len(stack)-1]
 		if !top.flipped {

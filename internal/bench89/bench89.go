@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Profile describes a synthetic circuit to generate.
@@ -65,12 +66,22 @@ func ProfileByName(name string) (Profile, bool) {
 // deterministic in the profile (including its seed), finalized, and has
 // exactly the requested numbers of inputs, outputs and flip-flops.
 func Generate(p Profile) (*netlist.Circuit, error) {
+	return GenerateObserved(p, nil)
+}
+
+// GenerateObserved is Generate with generation statistics reported through
+// an observability collector: a "bench89.generate" span, gate/circuit
+// counters, a cone-budget histogram, and a "bench89.generated" event with
+// the realized structure. A nil collector is exactly Generate.
+func GenerateObserved(p Profile, col *obs.Collector) (*netlist.Circuit, error) {
 	if p.Inputs <= 0 || p.Outputs <= 0 || p.Gates <= 0 || p.DFFs < 0 {
 		return nil, fmt.Errorf("bench89: invalid profile %+v", p)
 	}
 	if p.Gates < p.Outputs {
 		return nil, fmt.Errorf("bench89: profile %s needs at least %d gates for its outputs", p.Name, p.Outputs)
 	}
+	span := col.StartSpan("bench89.generate")
+	hCone := col.Histogram("bench89.cone.budget", obs.ExpBounds(1, 2, 13)...)
 	rng := rand.New(rand.NewSource(p.Seed))
 	var b strings.Builder
 
@@ -210,6 +221,7 @@ func Generate(p Profile) (*netlist.Circuit, error) {
 	sinkRoots := make([]string, sinks)
 	for i := 0; i < sinks; i++ {
 		budget := int(float64(p.Gates) * weights[i] / wsum)
+		hCone.ObserveInt(budget)
 		sinkRoots[i] = buildCone(budget)
 	}
 
@@ -224,6 +236,19 @@ func Generate(p Profile) (*netlist.Circuit, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench89: generating %s: %w", p.Name, err)
 	}
+	col.Counter("bench89.circuits.generated").Inc()
+	col.Counter("bench89.gates.generated").Add(int64(gateCount))
+	if col.Tracing() {
+		col.Emit("bench89.generated",
+			obs.F("name", p.Name),
+			obs.F("seed", p.Seed),
+			obs.F("inputs", p.Inputs),
+			obs.F("outputs", p.Outputs),
+			obs.F("dffs", p.DFFs),
+			obs.F("gates", gateCount),
+			obs.F("cones", sinks))
+	}
+	span.End()
 	return c, nil
 }
 

@@ -1,0 +1,136 @@
+// Package cli holds the shared command-line conventions of the repro
+// tools: a uniform "prog: message" stderr format with fixed exit codes
+// (2 for usage errors, 1 for runtime failures), and the common
+// observability flag set (-trace, -metrics, -cpuprofile) every
+// experiment-running command exposes.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+
+	"repro/internal/obs"
+)
+
+// Exit codes shared by every command.
+const (
+	ExitRuntime = 1 // runtime failure (I/O, parse, experiment error)
+	ExitUsage   = 2 // bad flags or arguments
+)
+
+// Fatalf prints "prog: message" to stderr and exits with ExitRuntime.
+func Fatalf(prog, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", prog, fmt.Sprintf(format, args...))
+	os.Exit(ExitRuntime)
+}
+
+// Usagef prints "prog: message" to stderr and exits with ExitUsage.
+func Usagef(prog, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", prog, fmt.Sprintf(format, args...))
+	os.Exit(ExitUsage)
+}
+
+// Check calls Fatalf when err is non-nil.
+func Check(prog string, err error) {
+	if err != nil {
+		Fatalf(prog, "%v", err)
+	}
+}
+
+// Obs is the shared observability flag set. Register it on the command's
+// FlagSet, call Start after flag parsing, and defer Stop; Collector
+// returns nil when no observability flag was given, so instrumented
+// libraries stay on their zero-cost path by default.
+type Obs struct {
+	TracePath  string
+	TraceText  bool
+	Metrics    bool
+	CPUProfile string
+
+	prog      string
+	col       *obs.Collector
+	reg       *obs.Registry
+	sink      obs.Sink
+	traceFile *os.File
+	profile   *os.File
+}
+
+// Register installs -trace, -trace-text, -metrics and -cpuprofile on fs.
+func (o *Obs) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.TracePath, "trace", "", "write a structured JSONL event trace to `file` (- for stderr)")
+	fs.BoolVar(&o.TraceText, "trace-text", false, "with -trace, write human-readable text instead of JSONL")
+	fs.BoolVar(&o.Metrics, "metrics", false, "print end-of-run counters/timers/histograms to stderr")
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+}
+
+// Enabled reports whether any observability flag was given.
+func (o *Obs) Enabled() bool {
+	return o.TracePath != "" || o.Metrics || o.CPUProfile != ""
+}
+
+// Start opens the trace sink and CPU profile as requested and returns the
+// collector (nil when nothing was requested). Errors are fatal in the
+// uniform CLI style.
+func (o *Obs) Start(prog string) *obs.Collector {
+	o.prog = prog
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		Check(prog, err)
+		Check(prog, pprof.StartCPUProfile(f))
+		o.profile = f
+	}
+	if o.TracePath != "" {
+		w := os.Stderr
+		if o.TracePath != "-" {
+			f, err := os.Create(o.TracePath)
+			Check(prog, err)
+			o.traceFile = f
+			w = f
+		}
+		if o.TraceText {
+			o.sink = obs.NewTextSink(w)
+		} else {
+			o.sink = obs.NewJSONLSink(w)
+		}
+	}
+	if o.Enabled() {
+		o.reg = obs.NewRegistry()
+		o.col = obs.New(o.reg, o.sink)
+	}
+	return o.col
+}
+
+// Collector returns the collector built by Start (nil when disabled).
+func (o *Obs) Collector() *obs.Collector { return o.col }
+
+// Registry returns the metrics registry built by Start (nil when
+// disabled). Useful for building a manifest.
+func (o *Obs) Registry() *obs.Registry { return o.reg }
+
+// Stop finalizes everything Start opened: emits the manifest as the final
+// trace event when one is given, stops the CPU profile, closes the trace
+// file (failing loudly on a poisoned sink) and prints the metrics dump
+// when -metrics was set.
+func (o *Obs) Stop(manifest *obs.Manifest) {
+	if manifest != nil {
+		manifest.EmitTo(o.col)
+	}
+	if o.profile != nil {
+		pprof.StopCPUProfile()
+		Check(o.prog, o.profile.Close())
+		o.profile = nil
+	}
+	if o.sink != nil {
+		Check(o.prog, o.sink.Err())
+		o.sink = nil
+	}
+	if o.traceFile != nil {
+		Check(o.prog, o.traceFile.Close())
+		o.traceFile = nil
+	}
+	if o.Metrics && o.reg != nil {
+		fmt.Fprint(os.Stderr, o.reg.Snapshot().String())
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/atpg"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Spec describes one logic cone (or fine-grained core) in the analytic
@@ -127,6 +128,14 @@ type Analysis struct {
 // on each, and reports the pattern-count distribution and the cone overlap
 // structure. ATPG uses the supplied options.
 func Analyze(c *netlist.Circuit, opts atpg.Options) (*Analysis, error) {
+	col := opts.Obs
+	span := col.StartSpan("cones.analyze")
+	// Cone-shape histograms: exponential buckets 1..4096 cover every
+	// realistic cone width/size in the stand-in suite.
+	hWidth := col.Histogram("cones.width", obs.ExpBounds(1, 2, 13)...)
+	hSize := col.Histogram("cones.size", obs.ExpBounds(1, 2, 13)...)
+	hPatterns := col.Histogram("cones.patterns", obs.ExpBounds(1, 2, 13)...)
+
 	cones := c.AllCones()
 	a := &Analysis{Circuit: c.Name}
 	for i := range cones {
@@ -136,13 +145,26 @@ func Analyze(c *netlist.Circuit, opts atpg.Options) (*Analysis, error) {
 			return nil, fmt.Errorf("cones: extracting cone %s: %w", c.Gate(cone.Apex).Name, err)
 		}
 		res := atpg.Generate(sub, opts)
-		a.Profiles = append(a.Profiles, Profile{
+		p := Profile{
 			Apex:     c.Gate(cone.Apex).Name,
 			Width:    cone.Width(),
 			Size:     cone.Size(),
 			Patterns: res.PatternCount(),
 			Coverage: res.Coverage,
-		})
+		}
+		a.Profiles = append(a.Profiles, p)
+		hWidth.ObserveInt(p.Width)
+		hSize.ObserveInt(p.Size)
+		hPatterns.ObserveInt(p.Patterns)
+		if col.Tracing() {
+			col.Emit("cone.profile",
+				obs.F("circuit", c.Name),
+				obs.F("apex", p.Apex),
+				obs.F("width", p.Width),
+				obs.F("size", p.Size),
+				obs.F("patterns", p.Patterns),
+				obs.F("coverage", p.Coverage))
+		}
 	}
 	for i := range cones {
 		for j := i + 1; j < len(cones); j++ {
@@ -152,6 +174,17 @@ func Analyze(c *netlist.Circuit, opts atpg.Options) (*Analysis, error) {
 			}
 		}
 	}
+	col.Counter("cones.analyzed").Add(int64(len(a.Profiles)))
+	if col.Tracing() {
+		col.Emit("cones.summary",
+			obs.F("circuit", c.Name),
+			obs.F("cones", len(a.Profiles)),
+			obs.F("max_patterns", a.MaxPatterns()),
+			obs.F("norm_stdev", NormStdev(a.PatternCounts())),
+			obs.F("overlap_pairs", a.OverlapPairs),
+			obs.F("total_pairs", a.TotalPairs))
+	}
+	span.End()
 	return a, nil
 }
 

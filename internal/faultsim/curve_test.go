@@ -1,0 +1,105 @@
+package faultsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// TestCoverageCurveMonotone asserts the coverage-vs-pattern curve the
+// engine reports is well-formed: detected counts never decrease across
+// Apply batches, pattern counts strictly increase, and the final point
+// agrees with the engine's own accounting.
+func TestCoverageCurveMonotone(t *testing.T) {
+	c := mustParse(t, "c17", c17Bench)
+	flist := faults.CollapsedUniverse(c)
+	e := NewEngine(c, flist)
+	e.EnableCurve()
+
+	rng := rand.New(rand.NewSource(7))
+	// Several Apply calls with sizes that straddle the 64-pattern batch
+	// boundary, so the curve spans both multi-batch and sub-batch applies.
+	for _, n := range []int{1, 3, 70, 64, 5} {
+		e.Apply(randomPatterns(rng, len(c.PseudoInputs()), n))
+	}
+
+	curve := e.CoverageCurve()
+	if len(curve) == 0 {
+		t.Fatal("no curve points recorded")
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Detected < curve[i-1].Detected {
+			t.Errorf("detected count decreased at point %d: %d -> %d",
+				i, curve[i-1].Detected, curve[i].Detected)
+		}
+		if curve[i].Patterns <= curve[i-1].Patterns {
+			t.Errorf("pattern count did not increase at point %d: %d -> %d",
+				i, curve[i-1].Patterns, curve[i].Patterns)
+		}
+	}
+	last := curve[len(curve)-1]
+	if last.Patterns != e.NumPatterns() {
+		t.Errorf("final curve point at %d patterns, engine applied %d", last.Patterns, e.NumPatterns())
+	}
+	if last.Detected != e.DetectedCount() {
+		t.Errorf("final curve point detected %d, engine detected %d", last.Detected, e.DetectedCount())
+	}
+	if last.Detected != e.Result().NumDetected {
+		t.Errorf("curve %d vs result %d detected", last.Detected, e.Result().NumDetected)
+	}
+}
+
+// TestEngineInstrumentation checks the counters and trace events an
+// instrumented engine produces: patterns/drops add up and every batch
+// event parses as JSON with a non-decreasing detected count.
+func TestEngineInstrumentation(t *testing.T) {
+	c := mustParse(t, "c17", c17Bench)
+	flist := faults.CollapsedUniverse(c)
+
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	col := obs.New(reg, obs.NewJSONLSink(&buf))
+
+	e := NewEngine(c, flist)
+	e.Instrument(col)
+	rng := rand.New(rand.NewSource(7))
+	e.Apply(randomPatterns(rng, len(c.PseudoInputs()), 100))
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["faultsim.patterns.applied"]; got != 100 {
+		t.Errorf("patterns.applied = %d, want 100", got)
+	}
+	if got := snap.Counters["faultsim.faults.dropped"]; got != int64(e.DetectedCount()) {
+		t.Errorf("faults.dropped = %d, want %d", got, e.DetectedCount())
+	}
+	if got := snap.Counters["faultsim.batches"]; got != 2 {
+		t.Errorf("batches = %d, want 2", got)
+	}
+
+	prev := -1
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev struct {
+			Event    string `json:"event"`
+			Detected int    `json:"detected"`
+			Patterns int    `json:"patterns"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line does not parse: %v\n%s", err, line)
+		}
+		if ev.Event != "faultsim.batch" {
+			continue
+		}
+		if ev.Detected < prev {
+			t.Errorf("trace detected count decreased: %d after %d", ev.Detected, prev)
+		}
+		prev = ev.Detected
+	}
+	if prev != e.DetectedCount() {
+		t.Errorf("last traced detected = %d, engine = %d", prev, e.DetectedCount())
+	}
+}

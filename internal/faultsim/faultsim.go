@@ -10,6 +10,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -73,6 +74,21 @@ type Engine struct {
 	ppos    []netlist.GateID
 	dffPPO  map[netlist.GateID][]int // DFF gate -> indices in ppo frame
 	scratch []uint64
+
+	// Observability (all nil/false by default: zero overhead).
+	col         *obs.Collector
+	cPatterns   *obs.Counter // faultsim.patterns.applied
+	cDropped    *obs.Counter // faultsim.faults.dropped
+	cBatches    *obs.Counter // faultsim.batches
+	recordCurve bool
+	curve       []CurvePoint
+}
+
+// CurvePoint is one point of the coverage-vs-pattern curve: the cumulative
+// detected-fault count after Patterns patterns have been applied.
+type CurvePoint struct {
+	Patterns int
+	Detected int
 }
 
 // NewEngine returns an engine over the given collapsed fault list.
@@ -102,6 +118,32 @@ func NewEngine(c *netlist.Circuit, flist []faults.Fault) *Engine {
 		e.dffPPO[d] = append(e.dffPPO[d], outs+i)
 	}
 	return e
+}
+
+// Instrument attaches an observability collector: per-batch counters
+// (patterns applied, faults dropped, batches simulated) and, when the
+// collector traces, a "faultsim.batch" event per 64-pattern batch carrying
+// the running coverage-vs-pattern curve. Instrumenting also enables curve
+// recording. A nil collector is a no-op.
+func (e *Engine) Instrument(col *obs.Collector) {
+	if col == nil {
+		return
+	}
+	e.col = col
+	e.cPatterns = col.Counter("faultsim.patterns.applied")
+	e.cDropped = col.Counter("faultsim.faults.dropped")
+	e.cBatches = col.Counter("faultsim.batches")
+	e.EnableCurve()
+}
+
+// EnableCurve turns on coverage-vs-pattern curve recording (one point per
+// applied batch). Off by default so the ATPG hot path pays nothing.
+func (e *Engine) EnableCurve() { e.recordCurve = true }
+
+// CoverageCurve returns the recorded coverage-vs-pattern curve (empty
+// unless EnableCurve or Instrument was called before Apply).
+func (e *Engine) CoverageCurve() []CurvePoint {
+	return append([]CurvePoint(nil), e.curve...)
 }
 
 // NumPatterns returns the number of patterns applied so far.
@@ -147,7 +189,23 @@ func (e *Engine) Apply(patterns []logic.Cube) int {
 		if end > len(patterns) {
 			end = len(patterns)
 		}
-		newly += e.applyBatch(patterns[off:end], e.nPatterns+off)
+		dropped := e.applyBatch(patterns[off:end], e.nPatterns+off)
+		newly += dropped
+		e.cPatterns.Add(int64(end - off))
+		e.cDropped.Add(int64(dropped))
+		e.cBatches.Inc()
+		if e.recordCurve {
+			e.curve = append(e.curve, CurvePoint{Patterns: e.nPatterns + end, Detected: e.nDetected})
+		}
+		if e.col.Tracing() {
+			e.col.Emit("faultsim.batch",
+				obs.F("patterns", e.nPatterns+end),
+				obs.F("batch_size", end-off),
+				obs.F("dropped", dropped),
+				obs.F("detected", e.nDetected),
+				obs.F("remaining", len(e.remaining)),
+				obs.F("coverage", e.Coverage()))
+		}
 	}
 	e.nPatterns += len(patterns)
 	return newly

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Field is one ordered key/value attribute of an Event.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Event is one structured trace record: a timestamp, a dotted event name
+// (e.g. "atpg.fault", "faultsim.batch", "manifest") and ordered fields.
+type Event struct {
+	Time   time.Time
+	Name   string
+	Fields []Field
+}
+
+// Sink consumes a stream of events. Implementations must be safe for
+// concurrent use; write failures are held internally and reported by Err
+// so instrumented code never has to thread an error path.
+type Sink interface {
+	Emit(e Event)
+	// Err returns the first write or encode error, if any.
+	Err() error
+}
+
+// JSONLSink writes one JSON object per event:
+//
+//	{"ts":"2026-08-06T10:11:12.131415Z","event":"atpg.fault","fault":"g3 SA0","status":"detected"}
+//
+// Field keys follow "ts" and "event" in emission order. Values are encoded
+// with encoding/json; a value that fails to encode is replaced by its
+// fmt.Sprintf("%v") string so one bad field never loses the record.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Emit writes the event as one JSON line.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	b := s.buf[:0]
+	b = append(b, `{"ts":"`...)
+	b = e.Time.UTC().AppendFormat(b, time.RFC3339Nano)
+	b = append(b, `","event":`...)
+	b = appendJSONValue(b, e.Name)
+	for _, f := range e.Fields {
+		b = append(b, ',')
+		b = appendJSONValue(b, f.Key)
+		b = append(b, ':')
+		b = appendJSONValue(b, f.Value)
+	}
+	b = append(b, '}', '\n')
+	s.buf = b
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func appendJSONValue(b []byte, v any) []byte {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		enc, _ = json.Marshal(fmt.Sprintf("%v", v))
+	}
+	return append(b, enc...)
+}
+
+// TextSink writes a human-readable line per event with the elapsed time
+// since the sink was created:
+//
+//	+0.013s  atpg.fault                 fault="g3 SA0" status=detected
+type TextSink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	err   error
+}
+
+// NewTextSink returns a sink writing human-readable lines to w.
+func NewTextSink(w io.Writer) *TextSink {
+	return &TextSink{w: w, start: time.Now()}
+}
+
+// Emit writes the event as one text line.
+func (s *TextSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	line := fmt.Sprintf("+%8.3fs  %-26s", e.Time.Sub(s.start).Seconds(), e.Name)
+	for _, f := range e.Fields {
+		switch v := f.Value.(type) {
+		case string:
+			line += fmt.Sprintf(" %s=%q", f.Key, v)
+		default:
+			line += fmt.Sprintf(" %s=%v", f.Key, v)
+		}
+	}
+	if _, err := fmt.Fprintln(s.w, line); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *TextSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// MultiSink fans one event stream out to several sinks.
+type MultiSink []Sink
+
+// Emit forwards the event to every sink.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Err returns the first error reported by any sink.
+func (m MultiSink) Err() error {
+	for _, s := range m {
+		if err := s.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

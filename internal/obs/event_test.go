@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJSONLSinkRoundTrip emits a mix of events and re-parses every line
+// with encoding/json, asserting names, field values and timestamps
+// survive the trip.
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	col := New(NewRegistry(), sink)
+
+	when := time.Date(2026, 8, 6, 10, 0, 0, 123456789, time.UTC)
+	sink.Emit(Event{Time: when, Name: "explicit", Fields: []Field{
+		F("str", `quote " and \ slash`),
+		F("int", 42),
+		F("float", 0.25),
+		F("bool", true),
+		F("list", []int{1, 2, 3}),
+	}})
+	col.Emit("via.collector", F("coverage", 0.993))
+	col.Emit("no.fields")
+	// A value json.Marshal rejects must degrade to its %v string, not
+	// poison the stream.
+	sink.Emit(Event{Time: when, Name: "bad.value", Fields: []Field{F("ch", make(chan int))}})
+
+	if err := sink.Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+
+	var lines []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+
+	e0 := lines[0]
+	if e0["event"] != "explicit" {
+		t.Errorf("event = %v", e0["event"])
+	}
+	ts, err := time.Parse(time.RFC3339Nano, e0["ts"].(string))
+	if err != nil || !ts.Equal(when) {
+		t.Errorf("ts = %v (err %v), want %v", e0["ts"], err, when)
+	}
+	if e0["str"] != `quote " and \ slash` {
+		t.Errorf("str = %v", e0["str"])
+	}
+	if e0["int"].(float64) != 42 || e0["float"].(float64) != 0.25 || e0["bool"] != true {
+		t.Errorf("scalar fields wrong: %v", e0)
+	}
+	if lines[1]["coverage"].(float64) != 0.993 {
+		t.Errorf("collector-emitted field wrong: %v", lines[1])
+	}
+	if lines[2]["event"] != "no.fields" {
+		t.Errorf("field-less event wrong: %v", lines[2])
+	}
+	if _, ok := lines[3]["ch"].(string); !ok {
+		t.Errorf("unmarshalable value should degrade to a string, got %v", lines[3]["ch"])
+	}
+}
+
+func TestTextSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewTextSink(&buf)
+	col := New(nil, sink)
+	col.Emit("phase.begin", F("circuit", "s953"), F("gates", 395))
+	out := buf.String()
+	for _, want := range []string{"phase.begin", `circuit="s953"`, "gates=395"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q: %s", want, out)
+		}
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanEmitsBeginEndAndTimer(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	col := New(reg, NewJSONLSink(&buf))
+	sp := col.StartSpan("atpg.phase.random", F("budget", 64))
+	d := sp.End(F("kept", 12))
+	if d <= 0 {
+		t.Errorf("span duration = %v", d)
+	}
+	out := buf.String()
+	for _, want := range []string{"atpg.phase.random.begin", "atpg.phase.random.end", `"kept":12`, `"sec":`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	if st := reg.Timer("atpg.phase.random").Stats(); st.Count != 1 {
+		t.Errorf("span timer count = %d, want 1", st.Count)
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	var a, b bytes.Buffer
+	m := MultiSink{NewJSONLSink(&a), NewTextSink(&b)}
+	New(nil, m).Emit("x", F("k", 1))
+	if a.Len() == 0 || b.Len() == 0 {
+		t.Error("multisink did not fan out")
+	}
+	if m.Err() != nil {
+		t.Error(m.Err())
+	}
+}

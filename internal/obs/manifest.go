@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Manifest is the end-of-run record of one experiment: what ran, with which
+// options and seed, for how long, and what it measured. Emitting it as the
+// final trace event (and/or printing it with -json) makes every run
+// reproducible — the manifest carries everything needed to rerun it — and
+// diffable against other runs.
+type Manifest struct {
+	Tool        string         `json:"tool"`
+	Version     string         `json:"version,omitempty"` // git describe, when available
+	GoVersion   string         `json:"go_version"`
+	Host        string         `json:"host,omitempty"`
+	Start       time.Time      `json:"start"`
+	End         time.Time      `json:"end"`
+	DurationSec float64        `json:"duration_sec"`
+	Seed        int64          `json:"seed"`
+	Options     map[string]any `json:"options,omitempty"`
+	Results     map[string]any `json:"results,omitempty"`
+	Metrics     *Snapshot      `json:"metrics,omitempty"`
+}
+
+// NewManifest starts a manifest for the named tool, stamping the start
+// time, go version, host and best-effort git version.
+func NewManifest(tool string, seed int64) *Manifest {
+	host, _ := os.Hostname()
+	return &Manifest{
+		Tool:      tool,
+		Version:   GitDescribe(),
+		GoVersion: runtime.Version(),
+		Host:      host,
+		Start:     time.Now(),
+		Seed:      seed,
+		Options:   make(map[string]any),
+		Results:   make(map[string]any),
+	}
+}
+
+// SetOption records one option the run was configured with.
+func (m *Manifest) SetOption(key string, value any) {
+	if m.Options == nil {
+		m.Options = make(map[string]any)
+	}
+	m.Options[key] = value
+}
+
+// SetResult records one measured result of the run.
+func (m *Manifest) SetResult(key string, value any) {
+	if m.Results == nil {
+		m.Results = make(map[string]any)
+	}
+	m.Results[key] = value
+}
+
+// Finish stamps the end time and duration and, when reg is non-nil,
+// embeds a snapshot of its metrics.
+func (m *Manifest) Finish(reg *Registry) {
+	m.End = time.Now()
+	m.DurationSec = m.End.Sub(m.Start).Seconds()
+	if reg != nil {
+		snap := reg.Snapshot()
+		m.Metrics = &snap
+	}
+}
+
+// WriteJSON writes the manifest as indented JSON followed by a newline.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// EmitTo sends the manifest as the trace's final "manifest" event.
+func (m *Manifest) EmitTo(c *Collector) {
+	if c.Tracing() {
+		c.Emit("manifest", F("manifest", m))
+	}
+}
+
+// GitDescribe returns `git describe --tags --always --dirty` for the
+// current directory, or "" when git or a repository is unavailable. It is
+// best-effort provenance for the manifest, never an error.
+func GitDescribe() string {
+	out, err := exec.Command("git", "describe", "--tags", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("atpg.backtracks").Add(123)
+	reg.Gauge("atpg.patterns").Set(88)
+
+	m := NewManifest("atpgrun", 7)
+	m.SetOption("circuit", "s953")
+	m.SetOption("backtrack", 100)
+	m.SetResult("patterns", 88)
+	m.SetResult("coverage", 0.993)
+	m.Finish(reg)
+
+	if m.GoVersion == "" {
+		t.Error("manifest missing go version")
+	}
+	if m.DurationSec < 0 {
+		t.Error("negative duration")
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("manifest JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if back.Tool != "atpgrun" || back.Seed != 7 {
+		t.Errorf("tool/seed = %q/%d", back.Tool, back.Seed)
+	}
+	if back.Options["circuit"] != "s953" {
+		t.Errorf("options lost: %v", back.Options)
+	}
+	if back.Results["patterns"].(float64) != 88 {
+		t.Errorf("results lost: %v", back.Results)
+	}
+	if back.Metrics == nil || back.Metrics.Counters["atpg.backtracks"] != 123 {
+		t.Errorf("metrics lost: %+v", back.Metrics)
+	}
+}
+
+// TestManifestAsFinalTraceEvent mirrors what the CLIs do: the manifest is
+// the last event of the JSONL trace, and its results must match what was
+// printed.
+func TestManifestAsFinalTraceEvent(t *testing.T) {
+	var buf bytes.Buffer
+	col := New(NewRegistry(), NewJSONLSink(&buf))
+	col.Emit("atpg.fault", F("status", "detected"))
+
+	m := NewManifest("atpgrun", 1)
+	m.SetResult("patterns", 42)
+	m.Finish(col.Metrics())
+	m.EmitTo(col)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	last := lines[len(lines)-1]
+	var ev struct {
+		Event    string   `json:"event"`
+		Manifest Manifest `json:"manifest"`
+	}
+	if err := json.Unmarshal([]byte(last), &ev); err != nil {
+		t.Fatalf("final trace line does not parse: %v\n%s", err, last)
+	}
+	if ev.Event != "manifest" {
+		t.Errorf("final event = %q, want manifest", ev.Event)
+	}
+	if ev.Manifest.Results["patterns"].(float64) != 42 {
+		t.Errorf("manifest results lost in trace: %v", ev.Manifest.Results)
+	}
+}
+
+func TestGitDescribeDoesNotFail(t *testing.T) {
+	_ = GitDescribe() // best-effort: any result (including "") is fine
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDisabledPathAllocatesNothing asserts the contract the ATPG hot path
+// relies on: with a nil collector, the whole instrumentation pattern —
+// instrument lookup, counter adds, spans, guarded emission — performs zero
+// allocations.
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	var col *Collector
+	// Histograms are resolved once at setup (their variadic bounds escape
+	// through the constructor); everything else is looked up inline.
+	hist := col.Histogram("sizes", 1, 10)
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctr := col.Counter("atpg.backtracks")
+		ctr.Inc()
+		ctr.Add(5)
+		col.Gauge("patterns").Set(9)
+		col.Timer("phase").Observe(time.Millisecond)
+		hist.ObserveInt(3)
+		sp := col.StartSpan("atpg.phase.podem")
+		sp.End()
+		if col.Tracing() {
+			col.Emit("atpg.fault", F("status", "detected"))
+		}
+		col.Emit("unguarded.no.fields")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestNilInstrumentsNoop asserts nil instruments are inert but usable.
+func TestNilInstrumentsNoop(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		m *Timer
+		h *Histogram
+		r *Registry
+		s *Span
+	)
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	g.Set(5)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	m.Observe(time.Second)
+	m.Since(time.Now())
+	if m.Stats().Count != 0 {
+		t.Error("nil timer has observations")
+	}
+	h.Observe(1)
+	if h.Stats().Count != 0 {
+		t.Error("nil histogram has observations")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Timer("x") != nil || r.Histogram("x", 1) != nil {
+		t.Error("nil registry returned a live instrument")
+	}
+	if len(r.Snapshot().Counters) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	if s.End() != 0 {
+		t.Error("nil span has a duration")
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import "time"
+
+// Collector is what instrumented code receives: a metrics Registry, an
+// optional trace Sink, or both. A nil *Collector is the disabled state —
+// every method no-ops, instrument lookups return nil (themselves no-ops),
+// and the hot path pays only nil-check branches.
+//
+// Per-event emission with fields should be guarded,
+//
+//	if col.Tracing() {
+//	    col.Emit("atpg.fault", obs.F("status", st.String()))
+//	}
+//
+// because the variadic field slice is built by the caller; the guard keeps
+// the disabled path allocation-free.
+type Collector struct {
+	reg  *Registry
+	sink Sink
+}
+
+// New returns a collector over the given registry and sink; either may be
+// nil. New(nil, nil) returns a non-nil collector that collects nothing.
+func New(reg *Registry, sink Sink) *Collector {
+	return &Collector{reg: reg, sink: sink}
+}
+
+// Metrics returns the underlying registry (nil when disabled).
+func (c *Collector) Metrics() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// Counter returns the named counter, or nil when disabled.
+func (c *Collector) Counter(name string) *Counter {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Counter(name)
+}
+
+// Gauge returns the named gauge, or nil when disabled.
+func (c *Collector) Gauge(name string) *Gauge {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Gauge(name)
+}
+
+// Timer returns the named timer, or nil when disabled.
+func (c *Collector) Timer(name string) *Timer {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Timer(name)
+}
+
+// Histogram returns the named histogram, or nil when disabled.
+func (c *Collector) Histogram(name string, bounds ...float64) *Histogram {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Histogram(name, bounds...)
+}
+
+// Tracing reports whether a trace sink is attached. Callers use it to
+// guard per-event emission on hot paths.
+func (c *Collector) Tracing() bool { return c != nil && c.sink != nil }
+
+// Emit sends one event to the trace sink, stamping the current time.
+func (c *Collector) Emit(name string, fields ...Field) {
+	if !c.Tracing() {
+		return
+	}
+	c.sink.Emit(Event{Time: time.Now(), Name: name, Fields: fields})
+}
+
+// Span is an in-flight timed phase. It is created by Collector.StartSpan
+// and closed by End; a nil *Span (from a nil collector) no-ops.
+type Span struct {
+	col   *Collector
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a named phase: a "<name>.begin" trace event now and, on
+// End, a "<name>.end" event plus an Observe on the timer of the same name.
+func (c *Collector) StartSpan(name string, fields ...Field) *Span {
+	if c == nil {
+		return nil
+	}
+	if c.Tracing() {
+		c.sink.Emit(Event{Time: time.Now(), Name: name + ".begin", Fields: fields})
+	}
+	return &Span{col: c, name: name, start: time.Now()}
+}
+
+// End closes the span, recording its duration on the collector's timer and
+// emitting the "<name>.end" event with a trailing "sec" duration field.
+// It returns the span duration (0 for a nil span).
+func (s *Span) End(fields ...Field) time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.col.Timer(s.name).Observe(d)
+	if s.col.Tracing() {
+		fields = append(fields, F("sec", d.Seconds()))
+		s.col.sink.Emit(Event{Time: time.Now(), Name: s.name + ".end", Fields: fields})
+	}
+	return d
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bench89"
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/soc"
 )
 
@@ -26,11 +27,20 @@ type LiveOptions struct {
 	// InterconnectFraction is the fraction of core inputs wired to other
 	// cores' outputs in the flattened design (default 0.45).
 	InterconnectFraction float64
+	// Obs receives the experiment's instrumentation when non-nil: phase
+	// spans (generate, per-core ATPG, flatten, monolithic ATPG), per-core
+	// result events carrying the TDV inputs, and everything the ATPG and
+	// fault-sim layers emit underneath. It is also propagated into the
+	// ATPG options unless those already carry their own collector.
+	Obs *obs.Collector
 }
 
 func (o LiveOptions) withDefaults() LiveOptions {
 	if o.ATPG == (ATPGOptions{}) {
 		o.ATPG = DefaultATPGOptions()
+	}
+	if o.ATPG.Obs == nil {
+		o.ATPG.Obs = o.Obs
 	}
 	if o.GateScale <= 0 || o.GateScale > 1 {
 		o.GateScale = 1
@@ -86,8 +96,18 @@ func LiveSOC2(opts LiveOptions) (*LiveResult, error) {
 
 func liveSOC(name string, coreNames []string, opts LiveOptions) (*LiveResult, error) {
 	opts = opts.withDefaults()
+	col := opts.Obs
+	spanAll := col.StartSpan("live.experiment")
+	if col.Tracing() {
+		col.Emit("live.start",
+			obs.F("soc", name),
+			obs.F("cores", len(coreNames)),
+			obs.F("gate_scale", opts.GateScale),
+			obs.F("seed", opts.Seed))
+	}
 	res := &LiveResult{Name: name}
 
+	spanGen := col.StartSpan("live.generate")
 	var circuits []*netlist.Circuit
 	for i, cn := range coreNames {
 		prof, ok := bench89.ProfileByName(cn)
@@ -101,41 +121,70 @@ func liveSOC(name string, coreNames []string, opts LiveOptions) (*LiveResult, er
 		if min := prof.Outputs + 8; prof.Gates < min {
 			prof.Gates = min
 		}
-		c, err := bench89.Generate(prof)
+		c, err := bench89.GenerateObserved(prof, col)
 		if err != nil {
 			return nil, err
 		}
 		circuits = append(circuits, c)
 	}
+	spanGen.End()
 
 	// Per-core ATPG: each core tested as a wrapped, stand-alone unit.
+	// Each per-core event carries the exact TDV-formula inputs (terminal
+	// and scan-cell counts plus the measured pattern count).
+	spanCores := col.StartSpan("live.percore")
 	for i, c := range circuits {
+		spanCore := col.StartSpan("live.core")
 		r := atpg.Generate(c, opts.ATPG)
 		st := c.ComputeStats()
-		res.Cores = append(res.Cores, LiveCore{
+		lc := LiveCore{
 			Name:      fmt.Sprintf("Core%d(%s)", i+1, coreNames[i]),
 			Inputs:    st.Inputs,
 			Outputs:   st.Outputs,
 			ScanCells: st.DFFs,
 			Patterns:  r.PatternCount(),
 			Coverage:  r.Coverage,
-		})
-		if r.PatternCount() > res.MaxCoreT {
-			res.MaxCoreT = r.PatternCount()
 		}
+		res.Cores = append(res.Cores, lc)
+		if lc.Patterns > res.MaxCoreT {
+			res.MaxCoreT = lc.Patterns
+		}
+		if col.Tracing() {
+			col.Emit("live.core.result",
+				obs.F("soc", name),
+				obs.F("core", lc.Name),
+				obs.F("inputs", lc.Inputs),
+				obs.F("outputs", lc.Outputs),
+				obs.F("scan_cells", lc.ScanCells),
+				obs.F("patterns", lc.Patterns),
+				obs.F("coverage", lc.Coverage))
+		}
+		spanCore.End()
 	}
+	spanCores.End()
 
 	// Monolithic: flatten with isolation ripped out and rerun ATPG.
+	spanFlat := col.StartSpan("live.flatten")
 	flat, err := soc.Flatten(name+"-flat", circuits, soc.FlattenOptions{
 		Seed:                 opts.Seed,
 		InterconnectFraction: opts.InterconnectFraction,
 	})
+	spanFlat.End()
 	if err != nil {
 		return nil, err
 	}
+	spanMono := col.StartSpan("live.mono")
 	mono := atpg.Generate(flat, opts.ATPG)
+	spanMono.End()
 	res.TMono = mono.PatternCount()
 	res.MonoCoverage = mono.Coverage
+	if col.Tracing() {
+		col.Emit("live.mono.result",
+			obs.F("soc", name),
+			obs.F("patterns", res.TMono),
+			obs.F("coverage", res.MonoCoverage),
+			obs.F("max_core_t", res.MaxCoreT))
+	}
 
 	// Build the TDV model from the measured values.
 	fs := flat.ComputeStats()
@@ -157,6 +206,16 @@ func liveSOC(name string, coreNames []string, opts LiveOptions) (*LiveResult, er
 	}
 	res.SOC = &core.SOC{Name: name + "-live", Top: top, TMono: res.TMono}
 	res.Report = res.SOC.Analyze()
+	if col.Tracing() {
+		col.Emit("live.result",
+			obs.F("soc", name),
+			obs.F("t_mono", res.TMono),
+			obs.F("max_core_t", res.MaxCoreT),
+			obs.F("eq2_holds", res.Eq2Holds()),
+			obs.F("tdv_modular", res.Report.TDVModular),
+			obs.F("tdv_mono_opt", res.Report.TDVMonoOpt))
+	}
+	spanAll.End()
 	return res, nil
 }
 

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/soc"
 	"repro/internal/wrapper"
 )
@@ -69,6 +70,30 @@ func DefaultATPGOptions() ATPGOptions { return atpg.DefaultOptions() }
 // universe of c.
 func RunATPG(c *Circuit, opts ATPGOptions) *ATPGResult {
 	return atpg.Generate(c, opts)
+}
+
+// Observability (see internal/obs): a Collector threaded through
+// ATPGOptions.Obs or LiveOptions.Obs gathers counters, phase timings,
+// histograms and a structured event trace from the whole pipeline; a
+// RunManifest is the diffable end-of-run record the CLIs print with -json.
+type (
+	Collector       = obs.Collector
+	MetricsRegistry = obs.Registry
+	TraceSink       = obs.Sink
+	RunManifest     = obs.Manifest
+)
+
+// NewObservability builds a collector over a fresh metrics registry. When
+// w is non-nil, structured events are written to it as JSONL; with a nil w
+// the collector gathers metrics only. The registry is returned for
+// end-of-run snapshots and manifests.
+func NewObservability(w io.Writer) (*Collector, *MetricsRegistry) {
+	reg := obs.NewRegistry()
+	var sink obs.Sink
+	if w != nil {
+		sink = obs.NewJSONLSink(w)
+	}
+	return obs.New(reg, sink), reg
 }
 
 // FaultUniverseSize returns the number of collapsed stuck-at faults of c.
