@@ -8,6 +8,16 @@
 //	atpgrun -standin s953          # run on a generated ISCAS'89 stand-in
 //	atpgrun -f core.bench -cones   # per-cone decomposition (paper Sec. 3)
 //
+// Robustness:
+//
+//	atpgrun -standin s13207 -timeout 30s         # bounded run; partial results on expiry
+//	atpgrun -standin s13207 -checkpoint run.ckpt # periodic atomic state saves
+//	atpgrun -standin s13207 -checkpoint run.ckpt -resume   # continue an interrupted run
+//	atpgrun -standin s13207 -fault-budget 100ms  # degrade stuck faults instead of hanging
+//
+// Ctrl-C (SIGINT) cancels the run gracefully: the trace is flushed, the
+// manifest written, a final checkpoint saved, and the command exits 130.
+//
 // Observability:
 //
 //	atpgrun -standin s953 -trace run.jsonl   # structured event trace (JSONL)
@@ -15,10 +25,12 @@
 //	atpgrun -standin s953 -json              # machine-readable run manifest to stdout
 //	atpgrun -standin s953 -cpuprofile cpu.pb # CPU profile of the run
 //
-// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+// Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 incomplete
+// (timeout/cancellation), 130 interrupted (SIGINT/SIGTERM).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +46,12 @@ import (
 
 const prog = "atpgrun"
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is the whole command; every return path has already flushed the
+// trace sink and written the manifest, so an early error or interrupt
+// never loses the observability record of the partial run.
+func run() int {
 	var (
 		file      = flag.String("f", "", ".bench netlist file (- for stdin)")
 		standin   = flag.String("standin", "", "generate and use an ISCAS'89 stand-in (s713, s953, s1423, s5378, s13207, s15850)")
@@ -48,7 +65,18 @@ func main() {
 	)
 	var ob cli.Obs
 	ob.Register(flag.CommandLine)
+	var rf cli.RunFlags
+	rf.Register(flag.CommandLine)
 	flag.Parse()
+
+	if err := rf.Validate(); err != nil {
+		cli.Errorf(prog, "%v", err)
+		return cli.ExitUsage
+	}
+	if *file == "" && *standin == "" {
+		cli.Errorf(prog, "need -f <file> or -standin <name>; see -help")
+		return cli.ExitUsage
+	}
 
 	col := ob.Start(prog)
 	reg := ob.Registry()
@@ -64,6 +92,28 @@ func main() {
 	man.SetOption("random", *random)
 	man.SetOption("compact", *compact)
 	man.SetOption("cones", *coneMode)
+	if rf.Timeout > 0 {
+		man.SetOption("timeout", rf.Timeout.String())
+	}
+	if rf.CheckpointPath != "" {
+		man.SetOption("checkpoint", rf.CheckpointPath)
+		man.SetOption("resume", rf.Resume)
+	}
+	if rf.FaultBudget > 0 {
+		man.SetOption("fault_budget", rf.FaultBudget.String())
+	}
+
+	// fail records the error on the manifest and flushes everything the
+	// run produced before handing back the exit code.
+	fail := func(code int, err error) int {
+		cli.Errorf(prog, "%v", err)
+		man.SetResult("error", err.Error())
+		finish(&ob, man, reg, *jsonOut)
+		return code
+	}
+
+	ctx, interrupted, stop := rf.Context(context.Background())
+	defer stop()
 
 	var (
 		c   *netlist.Circuit
@@ -73,14 +123,14 @@ func main() {
 	case *standin != "":
 		prof, ok := bench89.ProfileByName(*standin)
 		if !ok {
-			cli.Usagef(prog, "unknown stand-in %q", *standin)
+			return fail(cli.ExitUsage, fmt.Errorf("unknown stand-in %q", *standin))
 		}
 		man.SetOption("circuit", *standin)
 		c, err = bench89.GenerateObserved(prof, col)
 	case *file == "-":
 		man.SetOption("circuit", "stdin")
 		c, err = netlist.ParseBench("stdin", os.Stdin)
-	case *file != "":
+	default:
 		man.SetOption("circuit", *file)
 		var f *os.File
 		f, err = os.Open(*file)
@@ -88,10 +138,10 @@ func main() {
 			defer f.Close()
 			c, err = netlist.ParseBench(*file, f)
 		}
-	default:
-		cli.Usagef(prog, "need -f <file> or -standin <name>; see -help")
 	}
-	cli.Check(prog, err)
+	if err != nil {
+		return fail(cli.ExitRuntime, err)
+	}
 
 	if !*jsonOut {
 		fmt.Println(c.ComputeStats())
@@ -101,12 +151,16 @@ func main() {
 		RandomPatterns: *random,
 		Compact:        *compact,
 		Seed:           *seed,
+		FaultBudget:    rf.FaultBudget,
+		Checkpoint:     rf.Checkpoint(),
 		Obs:            col,
 	}
 
 	if *coneMode {
-		a, err := cones.Analyze(c, opts)
-		cli.Check(prog, err)
+		a, err := cones.AnalyzeContext(ctx, c, opts)
+		if err != nil {
+			return fail(cli.ExitCode(err, interrupted()), err)
+		}
 		if !*jsonOut {
 			t := report.New("Per-cone ATPG profile", "Apex", "Width", "Gates", "Patterns", "Coverage")
 			for _, p := range a.Profiles {
@@ -121,15 +175,41 @@ func main() {
 		man.SetResult("norm_stdev", cones.NormStdev(a.PatternCounts()))
 		man.SetResult("overlap_pairs", a.OverlapPairs)
 		finish(&ob, man, reg, *jsonOut)
-		return
+		return 0
 	}
 
-	res := atpg.Generate(c, opts)
+	res, err := atpg.GenerateContext(ctx, c, opts)
+	if res != nil {
+		man.SetResult("faults", res.NumFaults)
+		man.SetResult("detected", res.NumDetected)
+		man.SetResult("redundant", res.NumRedundant)
+		man.SetResult("aborted", res.NumAborted)
+		man.SetResult("coverage", res.Coverage)
+		man.SetResult("effective_coverage", res.EffectiveCoverage)
+		man.SetResult("patterns", res.PatternCount())
+		man.SetResult("cubes", len(res.Cubes))
+		man.SetResult("incomplete", res.Incomplete)
+		if res.Degraded > 0 {
+			man.SetResult("degraded", res.Degraded)
+		}
+	}
+	if err != nil {
+		// A cancelled or failed run still reports the partial pattern set
+		// it flushed; the exit code tells the caller why it stopped.
+		if res != nil && !*jsonOut {
+			fmt.Printf("patterns (partial):  %d\n", res.PatternCount())
+			fmt.Printf("coverage (partial):  %.2f%%\n", res.Coverage*100)
+		}
+		return fail(cli.ExitCode(err, interrupted()), err)
+	}
 	if !*jsonOut {
 		fmt.Printf("faults (collapsed):  %d\n", res.NumFaults)
 		fmt.Printf("detected:            %d\n", res.NumDetected)
 		fmt.Printf("redundant (proven):  %d\n", res.NumRedundant)
 		fmt.Printf("aborted:             %d\n", res.NumAborted)
+		if res.Degraded > 0 {
+			fmt.Printf("degraded (budget):   %d\n", res.Degraded)
+		}
 		fmt.Printf("coverage:            %.2f%% (effective %.2f%%)\n", res.Coverage*100, res.EffectiveCoverage*100)
 		fmt.Printf("patterns:            %d (from %d generated cubes)\n", res.PatternCount(), len(res.Cubes))
 
@@ -141,15 +221,8 @@ func main() {
 			}
 		}
 	}
-	man.SetResult("faults", res.NumFaults)
-	man.SetResult("detected", res.NumDetected)
-	man.SetResult("redundant", res.NumRedundant)
-	man.SetResult("aborted", res.NumAborted)
-	man.SetResult("coverage", res.Coverage)
-	man.SetResult("effective_coverage", res.EffectiveCoverage)
-	man.SetResult("patterns", res.PatternCount())
-	man.SetResult("cubes", len(res.Cubes))
 	finish(&ob, man, reg, *jsonOut)
+	return 0
 }
 
 // finish seals the manifest, emits it as the final trace event, shuts the

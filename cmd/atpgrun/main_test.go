@@ -1,0 +1,117 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+)
+
+// buildBinary compiles atpgrun once per test binary into a temp dir and
+// returns its path. Exec-level tests need the real signal handling and
+// exit-code paths, which in-process tests cannot exercise.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("exec test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "atpgrun")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+// TestExitUsage covers flag-validation failures: -resume without -checkpoint.
+func TestExitUsage(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-standin", "s713", "-resume").CombinedOutput()
+	if code := exitCode(t, err); code != cli.ExitUsage {
+		t.Fatalf("exit %d, want %d\n%s", code, cli.ExitUsage, out)
+	}
+}
+
+// TestEarlyErrorFlushesTrace checks that a failure before ATPG even starts
+// (missing netlist file) still exits 1 and flushes the trace and manifest.
+func TestEarlyErrorFlushesTrace(t *testing.T) {
+	bin := buildBinary(t)
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	out, err := exec.Command(bin, "-f", "/nonexistent.bench", "-trace", trace).CombinedOutput()
+	if code := exitCode(t, err); code != cli.ExitRuntime {
+		t.Fatalf("exit %d, want %d\n%s", code, cli.ExitRuntime, out)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("trace file empty: sink not flushed on early error")
+	}
+	if !strings.Contains(string(out), "no such file") {
+		t.Errorf("error message not surfaced:\n%s", out)
+	}
+}
+
+// TestTimeoutExitsIncomplete runs a circuit large enough that a tiny
+// -timeout interrupts generation; the process must exit with the
+// incomplete code and report partial patterns.
+func TestTimeoutExitsIncomplete(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-standin", "s15850", "-timeout", "300ms").CombinedOutput()
+	if code := exitCode(t, err); code != cli.ExitIncomplete {
+		t.Fatalf("exit %d, want %d\n%s", code, cli.ExitIncomplete, out)
+	}
+	if !strings.Contains(string(out), "partial") {
+		t.Errorf("partial results not reported:\n%s", out)
+	}
+}
+
+// TestSIGINTExitsInterrupted sends SIGINT mid-run and expects the
+// conventional 130 exit code plus a final checkpoint on disk.
+func TestSIGINTExitsInterrupted(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("no SIGINT delivery on windows")
+	}
+	bin := buildBinary(t)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	cmd := exec.Command(bin, "-standin", "s15850", "-checkpoint", ckpt, "-checkpoint-every", "8")
+	cmd.Stdout = nil
+	cmd.Stderr = nil
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the run time to get into the main ATPG loop, then interrupt.
+	time.Sleep(400 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	if code := exitCode(t, err); code != cli.ExitInterrupted {
+		t.Fatalf("exit %d, want %d", code, cli.ExitInterrupted)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("final checkpoint missing after SIGINT: %v", err)
+	}
+}

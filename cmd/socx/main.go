@@ -10,15 +10,26 @@
 //	socx -live -soc SOC1     # live experiment on SOC1
 //	socx -live -soc SOC2 -scale 0.4
 //
+// Robustness (with -live):
+//
+//	socx -live -soc SOC2 -timeout 5m             # bounded run, exit 3 on expiry
+//	socx -live -soc SOC2 -checkpoint soc2.ckpt   # per-stage checkpoints
+//	socx -live -soc SOC2 -checkpoint soc2.ckpt -resume
+//
+// Ctrl-C cancels gracefully: trace flushed, manifest written, last
+// checkpoint kept, exit code 130.
+//
 // Observability (most useful with -live):
 //
 //	socx -live -soc SOC1 -trace run.jsonl -metrics -cpuprofile cpu.pb
 //	socx -live -soc SOC1 -json           # run manifest as JSON to stdout
 //
-// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+// Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 incomplete
+// (timeout/cancellation), 130 interrupted (SIGINT/SIGTERM).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +41,11 @@ import (
 
 const prog = "socx"
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is the whole command; every return path has already flushed the
+// trace sink and written the manifest.
+func run() int {
 	var (
 		live    = flag.Bool("live", false, "run the live ATPG experiment instead of the published profiles")
 		which   = flag.String("soc", "both", "SOC1, SOC2 or both")
@@ -40,12 +55,19 @@ func main() {
 	)
 	var ob cli.Obs
 	ob.Register(flag.CommandLine)
+	var rf cli.RunFlags
+	rf.Register(flag.CommandLine)
 	flag.Parse()
 
 	switch *which {
 	case "SOC1", "SOC2", "both":
 	default:
-		cli.Usagef(prog, "-soc must be SOC1, SOC2 or both, not %q", *which)
+		cli.Errorf(prog, "-soc must be SOC1, SOC2 or both, not %q", *which)
+		return cli.ExitUsage
+	}
+	if err := rf.Validate(); err != nil {
+		cli.Errorf(prog, "%v", err)
+		return cli.ExitUsage
 	}
 
 	col := ob.Start(prog)
@@ -58,6 +80,13 @@ func main() {
 	man.SetOption("live", *live)
 	man.SetOption("soc", *which)
 	man.SetOption("scale", *scale)
+	if rf.Timeout > 0 {
+		man.SetOption("timeout", rf.Timeout.String())
+	}
+	if rf.CheckpointPath != "" {
+		man.SetOption("checkpoint", rf.CheckpointPath)
+		man.SetOption("resume", rf.Resume)
+	}
 
 	if !*live {
 		if *which == "SOC1" || *which == "both" {
@@ -71,14 +100,38 @@ func main() {
 			man.SetResult("soc2_tdv_modular", repro.SOC2().TDVModular())
 		}
 		finish(&ob, man, reg, *jsonOut)
-		return
+		return 0
 	}
 
+	ctx, interrupted, stop := rf.Context(context.Background())
+	defer stop()
+
 	opts := repro.LiveOptions{GateScale: *scale, Seed: *seed, Obs: col}
-	run := func(name string, f func(repro.LiveOptions) (*repro.LiveResult, error)) {
-		r, err := f(opts)
+	if rf.FaultBudget > 0 {
+		// Start from the defaults: a partially-set ATPG struct would
+		// bypass the zero-value default substitution.
+		opts.ATPG = repro.DefaultATPGOptions()
+		opts.ATPG.FaultBudget = rf.FaultBudget
+		man.SetOption("fault_budget", rf.FaultBudget.String())
+	}
+	if cc := rf.Checkpoint(); cc != nil {
+		// The experiment derives one checkpoint file per ATPG stage from
+		// this path, so each stage resumes independently.
+		opts.Checkpoint = cc
+	}
+	run := func(name string, f func(context.Context, repro.LiveOptions) (*repro.LiveResult, error)) int {
+		o := opts
+		if opts.Checkpoint != nil && *which == "both" {
+			// Distinct SOCs must not share stage checkpoint files.
+			cc := *opts.Checkpoint
+			cc.Path += "." + name
+			o.Checkpoint = &cc
+		}
+		r, err := f(ctx, o)
 		if err != nil {
-			cli.Fatalf(prog, "%s: %v", name, err)
+			cli.Errorf(prog, "%s: %v", name, err)
+			man.SetResult(name+"_error", err.Error())
+			return cli.ExitCode(err, interrupted())
 		}
 		if !*jsonOut {
 			fmt.Println(repro.RenderLive(r))
@@ -87,14 +140,22 @@ func main() {
 		man.SetResult(name+"_max_core_t", r.MaxCoreT)
 		man.SetResult(name+"_eq2_holds", r.Eq2Holds())
 		man.SetResult(name+"_mono_coverage", r.MonoCoverage)
+		return 0
 	}
 	if *which == "SOC1" || *which == "both" {
-		run("SOC1", repro.LiveSOC1)
+		if code := run("SOC1", repro.LiveSOC1Context); code != 0 {
+			finish(&ob, man, reg, *jsonOut)
+			return code
+		}
 	}
 	if *which == "SOC2" || *which == "both" {
-		run("SOC2", repro.LiveSOC2)
+		if code := run("SOC2", repro.LiveSOC2Context); code != 0 {
+			finish(&ob, man, reg, *jsonOut)
+			return code
+		}
 	}
 	finish(&ob, man, reg, *jsonOut)
+	return 0
 }
 
 // finish seals the manifest, emits it as the final trace event, shuts the

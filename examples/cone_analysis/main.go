@@ -24,7 +24,10 @@ func main() {
 
 	// Real-circuit counterpart: the s953 stand-in, cone by cone.
 	prof, _ := bench89.ProfileByName("s953")
-	c := bench89.MustGenerate(prof)
+	c, err := bench89.Generate(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("Per-cone decomposition of %s\n\n", c.ComputeStats())
 
 	a, err := repro.AnalyzeCones(c, repro.DefaultATPGOptions())

@@ -1,15 +1,21 @@
 package atpg
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io/fs"
 	"math/rand"
+	"runtime/debug"
 	"sort"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/faultsim"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/runctl"
 )
 
 // Options configures test generation.
@@ -40,6 +46,18 @@ type Options struct {
 	// Seed drives the random phase and the X-fill, making runs
 	// reproducible.
 	Seed int64
+	// FaultBudget, when positive, bounds the wall-clock time PODEM may
+	// spend searching for a single fault. A fault whose search exhausts
+	// the budget is recorded Aborted and counted in Result.Degraded (the
+	// "atpg.degraded" counter): a graceful degradation — its coverage is
+	// left to the random fill of compaction — rather than a wedged run.
+	// Budgeted runs trade bit-exact reproducibility for bounded latency;
+	// leave it zero when determinism matters (e.g. with checkpointing).
+	FaultBudget time.Duration
+	// Checkpoint, when non-nil, periodically persists the main loop's
+	// state to CheckpointConfig.Path and (with Resume) continues an
+	// interrupted run from it. See CheckpointConfig.
+	Checkpoint *CheckpointConfig
 	// Obs receives instrumentation when non-nil: search-effort counters
 	// (backtracks, decisions, implications), per-fault outcome events,
 	// phase spans and the fault simulator's coverage curve. The nil
@@ -81,6 +99,16 @@ type Result struct {
 	NumDetected  int
 	NumRedundant int
 	NumAborted   int
+	// Degraded counts faults abandoned because their per-fault time
+	// budget (Options.FaultBudget) ran out — a subset of NumAborted. Each
+	// is a recorded degradation: the run stayed alive and its coverage
+	// fell back to the fortuitous random fill.
+	Degraded int
+	// Incomplete marks a partial result: the run was cancelled, hit its
+	// deadline, or was cut short by a recovered failure before targeting
+	// every fault. The pattern set and accounting are consistent for the
+	// work actually done.
+	Incomplete bool
 	// Coverage is the final measured fault coverage of Patterns over the
 	// input fault list, in [0, 1].
 	Coverage float64
@@ -94,22 +122,59 @@ type Result struct {
 func (r *Result) PatternCount() int { return len(r.Patterns) }
 
 // Generate runs test generation for the collapsed stuck-at universe of c.
+// It panics on internal failure; context-aware callers should prefer
+// GenerateContext, which returns typed errors instead.
 func Generate(c *netlist.Circuit, opts Options) *Result {
-	return GenerateForFaults(c, faults.CollapsedUniverse(c), opts)
+	res, err := GenerateContext(context.Background(), c, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // GenerateForFaults runs test generation for an explicit fault list.
-// Per-cone ATPG passes the cone-filtered fault list here.
+// Per-cone ATPG passes the cone-filtered fault list here. It panics on
+// internal failure; see GenerateForFaultsContext for the error-returning,
+// cancellable form.
 func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *Result {
+	res, err := GenerateForFaultsContext(context.Background(), c, flist, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// GenerateContext is Generate with cancellation: the run honours ctx at
+// per-fault granularity and, when cancelled or past its deadline, returns
+// a consistent partial Result (Incomplete set, accounting measured over
+// the patterns actually generated) together with an error wrapping the
+// context's. Internal panics are recovered at this boundary into a
+// *runctl.PanicError carrying the circuit and fault under target.
+func GenerateContext(ctx context.Context, c *netlist.Circuit, opts Options) (*Result, error) {
 	if !c.Finalized() {
-		panic("atpg: circuit not finalized")
+		return nil, fmt.Errorf("atpg: circuit %q not finalized", c.Name)
+	}
+	return GenerateForFaultsContext(ctx, c, faults.CollapsedUniverse(c), opts)
+}
+
+// GenerateForFaultsContext is the full-control entry point of the
+// generator: explicit fault list, cancellation and deadlines via ctx,
+// optional checkpoint/resume via Options.Checkpoint, and per-fault time
+// budgets via Options.FaultBudget. On any abnormal exit — cancellation,
+// checkpoint-write failure, recovered panic — the returned Result holds
+// the partial work (Incomplete set) and the error says why.
+func GenerateForFaultsContext(ctx context.Context, c *netlist.Circuit, flist []faults.Fault, opts Options) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !c.Finalized() {
+		return nil, fmt.Errorf("atpg: circuit %q not finalized", c.Name)
 	}
 	if opts.BacktrackLimit <= 0 {
 		opts.BacktrackLimit = 100
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	res := &Result{NumFaults: len(flist)}
-	engine := faultsim.NewEngine(c, flist)
+	res = &Result{NumFaults: len(flist)}
 	width := len(c.PseudoInputs())
 
 	col := opts.Obs
@@ -125,11 +190,131 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 	}
 
 	var cubes []logic.Cube
+	failed := make(map[faults.Fault]Status)
+
+	// Panic boundary: a panic anywhere below (netlist, sim, faultsim, the
+	// search itself) is converted into a typed error carrying the circuit
+	// and the fault under target, with the committed partial work kept on
+	// the Result. The process — and the caller's other cores — survive.
+	var (
+		curFault  faults.Fault
+		haveFault bool
+	)
+	defer func() {
+		if r := recover(); r != nil {
+			detail := ""
+			if haveFault {
+				detail = "fault " + curFault.String(c)
+			}
+			res.Cubes = cubes
+			res.Incomplete = true
+			err = &runctl.PanicError{
+				Op: "atpg.generate", Circuit: c.Name, Detail: detail,
+				Value: r, Stack: debug.Stack(),
+			}
+			col.Counter("atpg.panics.recovered").Inc()
+			if col.Tracing() {
+				col.Emit("atpg.panic",
+					obs.F("circuit", c.Name),
+					obs.F("detail", detail),
+					obs.F("value", fmt.Sprint(r)))
+			}
+		}
+	}()
+
+	// Checkpoint setup and resume. The options hash binds a checkpoint to
+	// this exact circuit + fault list + option set; anything else refuses
+	// to resume rather than silently diverging.
+	ckpt := opts.Checkpoint
+	var (
+		ckptHash  string
+		randDraws int64 // RNG draws the random phase consumed
+		resumed   bool
+		loopDone  bool // main PODEM loop already completed (per checkpoint)
+	)
+	if ckpt != nil {
+		ckptHash = optionsHash(c, len(flist), opts)
+		if ckpt.Resume {
+			st, lerr := loadCheckpoint(ckpt.Path, ckptHash)
+			switch {
+			case lerr == nil:
+				cubes, res.Outcomes, failed, lerr = st.restore(ckpt.Path, width)
+				if lerr != nil {
+					return res, lerr
+				}
+				// Fast-forward the RNG to the exact position the
+				// interrupted run left it at, so compaction's X-fill draws
+				// the identical stream.
+				for i := int64(0); i < st.RandDraws; i++ {
+					rng.Intn(2)
+				}
+				randDraws = st.RandDraws
+				resumed = true
+				loopDone = st.Complete
+				col.Counter("atpg.resumed").Inc()
+				if col.Tracing() {
+					col.Emit("atpg.resume",
+						obs.F("circuit", c.Name),
+						obs.F("path", ckpt.Path),
+						obs.F("cubes", len(cubes)),
+						obs.F("outcomes", len(res.Outcomes)),
+						obs.F("complete", loopDone))
+				}
+			case errors.Is(lerr, fs.ErrNotExist):
+				// No checkpoint yet: fresh run.
+			default:
+				return res, lerr
+			}
+		}
+	}
+	saveCkpt := func(complete bool) error {
+		if ckpt == nil {
+			return nil
+		}
+		st := snapshotCkpt(c.Name, ckptHash, randDraws, complete, cubes, res.Outcomes)
+		if serr := st.save(ckpt.Path); serr != nil {
+			return serr
+		}
+		col.Counter("atpg.checkpoints.written").Inc()
+		if col.Tracing() {
+			col.Emit("atpg.checkpoint",
+				obs.F("circuit", c.Name),
+				obs.F("path", ckpt.Path),
+				obs.F("cubes", len(cubes)),
+				obs.F("complete", complete))
+		}
+		return nil
+	}
+	// finishPartial closes out a cancelled run: final checkpoint, then a
+	// consistent Result over the patterns generated so far (zero-filled,
+	// authoritatively fault-simulated), marked Incomplete.
+	finishPartial := func(stage string, cause error) (*Result, error) {
+		res.Incomplete = true
+		res.Cubes = cubes
+		if serr := saveCkpt(loopDone); serr != nil {
+			cause = errors.Join(cause, serr)
+		}
+		res.Patterns = fillZero(cubes)
+		finalizeAccounting(c, flist, failed, res, col)
+		col.Counter("atpg.canceled").Inc()
+		if col.Tracing() {
+			col.Emit("atpg.canceled",
+				obs.F("circuit", c.Name),
+				obs.F("stage", stage),
+				obs.F("patterns", res.PatternCount()),
+				obs.F("coverage", res.Coverage))
+		}
+		spanGen.End()
+		return res, fmt.Errorf("atpg: %s on %q stopped with %d patterns, coverage %.1f%%: %w",
+			stage, c.Name, res.PatternCount(), res.Coverage*100, cause)
+	}
 
 	// Phase 1: random bootstrap. Apply the whole budget, then keep only
 	// the patterns that are some fault's first detector — dropping the
-	// rest cannot lose any detection.
-	if opts.RandomPatterns > 0 && width > 0 {
+	// rest cannot lose any detection. A resumed run skips the phase: its
+	// kept patterns are already in the checkpoint's cube list.
+	if !resumed && opts.RandomPatterns > 0 && width > 0 {
+		engine := faultsim.NewEngine(c, flist)
 		spanRand := col.StartSpan("atpg.phase.random")
 		randPats := make([]logic.Cube, opts.RandomPatterns)
 		for i := range randPats {
@@ -139,6 +324,7 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 			}
 			randPats[i] = p
 		}
+		randDraws = int64(opts.RandomPatterns) * int64(width)
 		engine.Apply(randPats)
 		useful := make(map[int]bool)
 		for _, d := range engine.Result().DetectedBy {
@@ -164,61 +350,103 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 		spanRand.End()
 	}
 
-	// Phase 2: deterministic PODEM with fault dropping.
-	engine = rebaseEngine(c, flist, cubes) // re-index detections onto kept patterns
+	// Phase 2: deterministic PODEM with fault dropping. The engine's
+	// detection state is a pure function of the applied cube list, so a
+	// resumed run rebuilding it from the checkpoint continues the exact
+	// computation the interrupted run was performing.
+	engine := rebaseEngine(c, flist, cubes)
 	engine.Instrument(col)
-	pd := newPodem(c, opts.BacktrackLimit, col)
+	pd := newPodem(c, opts.BacktrackLimit, opts.FaultBudget, col)
 	cTargeted := col.Counter("atpg.faults.targeted")
 	cDetDet := col.Counter("atpg.detected.deterministic")
-	spanPodem := col.StartSpan("atpg.phase.podem")
-	failed := make(map[faults.Fault]Status)
-	for {
-		var target *faults.Fault
-		for _, f := range engine.Remaining() {
-			if _, done := failed[f]; !done {
-				g := f
-				target = &g
+	cDegraded := col.Counter("atpg.degraded")
+	sinceCkpt := 0
+	if !loopDone {
+		spanPodem := col.StartSpan("atpg.phase.podem")
+		for {
+			var target *faults.Fault
+			for _, f := range engine.Remaining() {
+				if _, done := failed[f]; !done {
+					g := f
+					target = &g
+					break
+				}
+			}
+			if target == nil {
 				break
 			}
-		}
-		if target == nil {
-			break
-		}
-		cTargeted.Inc()
-		cube, status := pd.run(*target)
-		if col.Tracing() {
-			col.Emit("atpg.fault",
-				obs.F("fault", target.String(c)),
-				obs.F("status", status.String()),
-				obs.F("backtracks", pd.backtracks),
-				obs.F("pass", 1))
-		}
-		switch status {
-		case Detected:
-			cDetDet.Inc()
-			if !faultsim.SerialDetects(c, padCube(cube, width), *target) {
-				// A cube that fails verification indicates a search bug;
-				// never silently accept it.
-				panic(fmt.Sprintf("atpg: generated cube %v does not detect %s", cube, target.String(c)))
+			// Cancellation check, once per fault: cheap against the cost
+			// of a PODEM search, fine-grained enough that a deadline stops
+			// the run within one fault's work.
+			if cerr := ctx.Err(); cerr != nil {
+				return finishPartial("generation", cerr)
 			}
-			if opts.DynamicCompact {
-				cube = extendCube(c, pd, engine, cube, *target, failed, opts, res)
+			curFault, haveFault = *target, true
+			if ferr := runctl.Hit(FPFault); ferr != nil {
+				panic(ferr) // simulated internal failure; recovered at the boundary
 			}
-			cubes = append(cubes, cube)
-			engine.Apply([]logic.Cube{cube})
-			res.Outcomes = append(res.Outcomes, Outcome{*target, Detected})
-		case Redundant, Aborted:
-			failed[*target] = status
-			res.Outcomes = append(res.Outcomes, Outcome{*target, status})
+			cTargeted.Inc()
+			cube, status := pd.run(*target)
+			if pd.degraded {
+				res.Degraded++
+				cDegraded.Inc()
+			}
+			if col.Tracing() {
+				col.Emit("atpg.fault",
+					obs.F("fault", target.String(c)),
+					obs.F("status", status.String()),
+					obs.F("backtracks", pd.backtracks),
+					obs.F("pass", 1))
+			}
+			switch status {
+			case Detected:
+				cDetDet.Inc()
+				if !faultsim.SerialDetects(c, padCube(cube, width), *target) {
+					// A cube that fails verification indicates a search bug;
+					// never silently accept it.
+					panic(fmt.Sprintf("atpg: generated cube %v does not detect %s", cube, target.String(c)))
+				}
+				if opts.DynamicCompact {
+					cube = extendCube(c, pd, engine, cube, *target, failed, opts, res)
+				}
+				cubes = append(cubes, cube)
+				engine.Apply([]logic.Cube{cube})
+				res.Outcomes = append(res.Outcomes, Outcome{*target, Detected})
+			case Redundant, Aborted:
+				failed[*target] = status
+				res.Outcomes = append(res.Outcomes, Outcome{*target, status})
+			}
+			haveFault = false
+			sinceCkpt++
+			if ckpt != nil && sinceCkpt >= ckpt.every() {
+				sinceCkpt = 0
+				if serr := saveCkpt(false); serr != nil {
+					res.Cubes = cubes
+					res.Incomplete = true
+					spanPodem.End()
+					spanGen.End()
+					return res, serr
+				}
+			}
+		}
+		spanPodem.End()
+		loopDone = true
+		// Seal the main loop's state so a crash in the (cheap, re-runnable)
+		// escalation/compaction phases resumes from here, not from scratch.
+		if serr := saveCkpt(true); serr != nil {
+			res.Cubes = cubes
+			res.Incomplete = true
+			spanGen.End()
+			return res, serr
 		}
 	}
-	spanPodem.End()
+
 	// Phase 2b: escalation passes over the aborted faults.
 	limit := opts.BacktrackLimit
 	for pass := 2; pass <= opts.Passes; pass++ {
 		limit *= 10
 		spanEsc := col.StartSpan("atpg.phase.escalate")
-		retry := newPodem(c, limit, col)
+		retry := newPodem(c, limit, opts.FaultBudget, col)
 		var targets []faults.Fault
 		for f, st := range failed {
 			if st == Aborted {
@@ -228,7 +456,16 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 		sortFaults(targets)
 		col.Counter("atpg.escalated").Add(int64(len(targets)))
 		for _, f := range targets {
+			if cerr := ctx.Err(); cerr != nil {
+				spanEsc.End()
+				return finishPartial("escalation", cerr)
+			}
+			curFault, haveFault = f, true
 			cube, status := retry.run(f)
+			if retry.degraded {
+				res.Degraded++
+				cDegraded.Inc()
+			}
 			if col.Tracing() {
 				col.Emit("atpg.fault",
 					obs.F("fault", f.String(c)),
@@ -252,6 +489,7 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 			case Aborted:
 				// Stays aborted; a later pass may escalate again.
 			}
+			haveFault = false
 		}
 		spanEsc.End()
 	}
@@ -271,6 +509,10 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 		// Fortuitous detections can depend on the fill; top up any
 		// coverage lost by re-targeting newly undetected faults.
 		for iter := 0; iter < 3; iter++ {
+			if cerr := ctx.Err(); cerr != nil {
+				spanCompact.End()
+				return finishPartial("compaction", cerr)
+			}
 			check := faultsim.NewEngine(c, flist)
 			check.Apply(patterns)
 			missing := 0
@@ -278,7 +520,9 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 				if _, bad := failed[f]; bad {
 					continue
 				}
+				curFault, haveFault = f, true
 				cube, status := pd.run(f)
+				haveFault = false
 				if status != Detected {
 					failed[f] = status
 					continue
@@ -296,9 +540,29 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 	spanCompact.End()
 	res.Patterns = patterns
 
-	// Final authoritative accounting.
-	final := faultsim.Simulate(c, patterns, flist)
+	finalizeAccounting(c, flist, failed, res, col)
+	if col.Tracing() {
+		col.Emit("atpg.result",
+			obs.F("circuit", c.Name),
+			obs.F("patterns", res.PatternCount()),
+			obs.F("cubes", len(res.Cubes)),
+			obs.F("detected", res.NumDetected),
+			obs.F("redundant", res.NumRedundant),
+			obs.F("aborted", res.NumAborted),
+			obs.F("coverage", res.Coverage))
+	}
+	spanGen.End()
+	return res, nil
+}
+
+// finalizeAccounting runs the authoritative final fault simulation of
+// res.Patterns and fills in the coverage bookkeeping. It is shared by the
+// complete and the cancelled exits, so a partial Result is exactly as
+// consistent as a full one.
+func finalizeAccounting(c *netlist.Circuit, flist []faults.Fault, failed map[faults.Fault]Status, res *Result, col *obs.Collector) {
+	final := faultsim.Simulate(c, res.Patterns, flist)
 	res.NumDetected = final.NumDetected
+	res.NumRedundant, res.NumAborted = 0, 0
 	for _, st := range failed {
 		switch st {
 		case Redundant:
@@ -319,18 +583,6 @@ func GenerateForFaults(c *netlist.Circuit, flist []faults.Fault, opts Options) *
 	col.Counter("atpg.detected").Add(int64(res.NumDetected))
 	col.Counter("atpg.redundant").Add(int64(res.NumRedundant))
 	col.Counter("atpg.aborted").Add(int64(res.NumAborted))
-	if col.Tracing() {
-		col.Emit("atpg.result",
-			obs.F("circuit", c.Name),
-			obs.F("patterns", res.PatternCount()),
-			obs.F("cubes", len(res.Cubes)),
-			obs.F("detected", res.NumDetected),
-			obs.F("redundant", res.NumRedundant),
-			obs.F("aborted", res.NumAborted),
-			obs.F("coverage", res.Coverage))
-	}
-	spanGen.End()
-	return res
 }
 
 // extendCube performs dynamic compaction: secondary still-undetected

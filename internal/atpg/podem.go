@@ -12,6 +12,7 @@ package atpg
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/logic"
@@ -64,6 +65,13 @@ type podem struct {
 	backtracks int
 	limit      int
 
+	// Per-fault wall-clock budget (zero = unlimited). The deadline is
+	// rearmed for every search; degraded reports whether the last search
+	// was cut short by it rather than by the backtrack limit.
+	budget   time.Duration
+	deadline time.Time
+	degraded bool
+
 	// Search-effort counters (nil when observability is disabled).
 	cBacktracks   *obs.Counter // atpg.backtracks
 	cDecisions    *obs.Counter // atpg.decisions
@@ -74,7 +82,7 @@ type podem struct {
 	xmark   []bool
 }
 
-func newPodem(c *netlist.Circuit, limit int, col *obs.Collector) *podem {
+func newPodem(c *netlist.Circuit, limit int, budget time.Duration, col *obs.Collector) *podem {
 	p := &podem{
 		c:             c,
 		values:        make([]logic.V, c.NumGates()),
@@ -82,6 +90,7 @@ func newPodem(c *netlist.Circuit, limit int, col *obs.Collector) *podem {
 		ppos:          c.PseudoOutputs(),
 		piPos:         make(map[netlist.GateID]int),
 		limit:         limit,
+		budget:        budget,
 		cBacktracks:   col.Counter("atpg.backtracks"),
 		cDecisions:    col.Counter("atpg.decisions"),
 		cImplications: col.Counter("atpg.implications"),
@@ -118,6 +127,10 @@ func (p *podem) runWithBase(f faults.Fault, base logic.Cube) (logic.Cube, Status
 	p.dffPin = f.Pin != faults.StemPin && p.c.Gate(f.Gate).Type == netlist.DFF
 	p.base = base
 	p.backtracks = 0
+	p.degraded = false
+	if p.budget > 0 {
+		p.deadline = time.Now().Add(p.budget)
+	}
 
 	var stack []assignment
 	for {
@@ -145,7 +158,7 @@ func (p *podem) runWithBase(f faults.Fault, base logic.Cube) (logic.Cube, Status
 					}
 					return nil, Redundant
 				}
-				if p.backtracks > p.limit {
+				if p.overLimit() {
 					return nil, Aborted
 				}
 				continue
@@ -161,11 +174,25 @@ func (p *podem) runWithBase(f faults.Fault, base logic.Cube) (logic.Cube, Status
 				}
 				return nil, Redundant
 			}
-			if p.backtracks > p.limit {
+			if p.overLimit() {
 				return nil, Aborted
 			}
 		}
 	}
+}
+
+// overLimit reports whether the search must abort: the backtrack limit is
+// exceeded, or (graceful degradation) the per-fault time budget ran out.
+// Budget exhaustion sets degraded so the caller can account for it.
+func (p *podem) overLimit() bool {
+	if p.backtracks > p.limit {
+		return true
+	}
+	if p.budget > 0 && time.Now().After(p.deadline) {
+		p.degraded = true
+		return true
+	}
+	return false
 }
 
 // backtrack pops exhausted decisions and flips the deepest unflipped one.

@@ -253,6 +253,9 @@ func GenerateObserved(p Profile, col *obs.Collector) (*netlist.Circuit, error) {
 }
 
 // MustGenerate is Generate for known-good profiles; it panics on error.
+// It is intended for tests and examples with hard-coded profiles —
+// anything handling external or computed profiles must call Generate and
+// propagate the error instead.
 func MustGenerate(p Profile) *netlist.Circuit {
 	c, err := Generate(p)
 	if err != nil {

@@ -1,23 +1,31 @@
 // Package cli holds the shared command-line conventions of the repro
 // tools: a uniform "prog: message" stderr format with fixed exit codes
-// (2 for usage errors, 1 for runtime failures), and the common
-// observability flag set (-trace, -metrics, -cpuprofile) every
-// experiment-running command exposes.
+// (2 for usage errors, 1 for runtime failures, 3 for runs stopped by a
+// deadline, 130 for SIGINT), the common observability flag set (-trace,
+// -metrics, -cpuprofile), and the shared resilience flag set (-timeout,
+// -checkpoint, -checkpoint-every, -resume, -fault-budget) of every
+// experiment-running command.
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"time"
 
+	"repro/internal/atpg"
 	"repro/internal/obs"
+	"repro/internal/runctl"
 )
 
 // Exit codes shared by every command.
 const (
-	ExitRuntime = 1 // runtime failure (I/O, parse, experiment error)
-	ExitUsage   = 2 // bad flags or arguments
+	ExitRuntime     = 1   // runtime failure (I/O, parse, experiment error)
+	ExitUsage       = 2   // bad flags or arguments
+	ExitIncomplete  = 3   // run stopped by -timeout/cancellation; partial state flushed
+	ExitInterrupted = 130 // run stopped by SIGINT/SIGTERM (128+SIGINT), state flushed
 )
 
 // Fatalf prints "prog: message" to stderr and exits with ExitRuntime.
@@ -36,6 +44,83 @@ func Usagef(prog, format string, args ...any) {
 func Check(prog string, err error) {
 	if err != nil {
 		Fatalf(prog, "%v", err)
+	}
+}
+
+// Errorf prints "prog: message" to stderr without exiting, for commands
+// structured as run() functions that must flush traces and manifests on
+// every exit path before returning their code.
+func Errorf(prog, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", prog, fmt.Sprintf(format, args...))
+}
+
+// ExitCode maps a pipeline error to the command's exit code: 0 for nil,
+// ExitInterrupted when a signal cancelled the run, ExitIncomplete for a
+// deadline/cancellation, ExitRuntime otherwise.
+func ExitCode(err error, interrupted bool) int {
+	switch {
+	case err == nil:
+		return 0
+	case interrupted:
+		return ExitInterrupted
+	case runctl.IsCancel(err):
+		return ExitIncomplete
+	default:
+		return ExitRuntime
+	}
+}
+
+// RunFlags is the shared resilience flag set: run deadline, checkpoint
+// location and cadence, resume, and the per-fault degradation budget.
+type RunFlags struct {
+	Timeout         time.Duration
+	CheckpointPath  string
+	CheckpointEvery int
+	Resume          bool
+	FaultBudget     time.Duration
+}
+
+// Register installs -timeout, -checkpoint, -checkpoint-every, -resume and
+// -fault-budget on fs.
+func (r *RunFlags) Register(fs *flag.FlagSet) {
+	fs.DurationVar(&r.Timeout, "timeout", 0, "wall-clock budget for the whole run (e.g. 90s; 0 = none); an exceeded budget stops the run with exit code 3 after flushing partial state")
+	fs.StringVar(&r.CheckpointPath, "checkpoint", "", "periodically save generation state to `file` (atomic replace); interrupted runs keep the last complete checkpoint")
+	fs.IntVar(&r.CheckpointEvery, "checkpoint-every", 0, "targeted faults between checkpoint writes (default 64)")
+	fs.BoolVar(&r.Resume, "resume", false, "with -checkpoint, continue from the checkpoint file when present (bit-for-bit identical results)")
+	fs.DurationVar(&r.FaultBudget, "fault-budget", 0, "wall-clock budget per targeted fault (0 = none); exhausted faults degrade to aborted instead of wedging the run")
+}
+
+// Validate reports flag-combination errors (currently: -resume without
+// -checkpoint).
+func (r *RunFlags) Validate() error {
+	if r.Resume && r.CheckpointPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	return nil
+}
+
+// Checkpoint returns the checkpoint configuration implied by the flags,
+// or nil when -checkpoint was not given.
+func (r *RunFlags) Checkpoint() *atpg.CheckpointConfig {
+	if r.CheckpointPath == "" {
+		return nil
+	}
+	return &atpg.CheckpointConfig{Path: r.CheckpointPath, Every: r.CheckpointEvery, Resume: r.Resume}
+}
+
+// Context derives the run context from the flags: cancelled on SIGINT or
+// SIGTERM (first signal only — a second one kills the process), and bounded
+// by -timeout when set. interrupted reports whether a signal arrived (it
+// decides ExitInterrupted vs ExitIncomplete); stop releases the handler.
+func (r *RunFlags) Context(parent context.Context) (ctx context.Context, interrupted func() bool, stop func()) {
+	ctx, interrupted, sigStop := runctl.SignalContext(parent)
+	if r.Timeout <= 0 {
+		return ctx, interrupted, sigStop
+	}
+	ctx, cancel := context.WithTimeout(ctx, r.Timeout)
+	return ctx, interrupted, func() {
+		cancel()
+		sigStop()
 	}
 }
 

@@ -5,6 +5,7 @@
 package cones
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -128,6 +129,21 @@ type Analysis struct {
 // on each, and reports the pattern-count distribution and the cone overlap
 // structure. ATPG uses the supplied options.
 func Analyze(c *netlist.Circuit, opts atpg.Options) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), c, opts)
+}
+
+// AnalyzeContext is Analyze with cancellation at per-cone granularity (the
+// per-cone ATPG itself also honours ctx at per-fault granularity, so a
+// deadline interrupts even a single slow cone). A cancelled analysis
+// returns nil and the error; per-cone profiles are not partial-result
+// material the way ATPG patterns are — callers rerun the analysis.
+func AnalyzeContext(ctx context.Context, c *netlist.Circuit, opts atpg.Options) (*Analysis, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A single checkpoint file cannot hold hundreds of per-cone runs; the
+	// unit of resumption for cone analysis is the analysis itself.
+	opts.Checkpoint = nil
 	col := opts.Obs
 	span := col.StartSpan("cones.analyze")
 	// Cone-shape histograms: exponential buckets 1..4096 cover every
@@ -144,7 +160,10 @@ func Analyze(c *netlist.Circuit, opts atpg.Options) (*Analysis, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cones: extracting cone %s: %w", c.Gate(cone.Apex).Name, err)
 		}
-		res := atpg.Generate(sub, opts)
+		res, err := atpg.GenerateContext(ctx, sub, opts)
+		if err != nil {
+			return nil, fmt.Errorf("cones: cone %s: %w", c.Gate(cone.Apex).Name, err)
+		}
 		p := Profile{
 			Apex:     c.Gate(cone.Apex).Name,
 			Width:    cone.Width(),

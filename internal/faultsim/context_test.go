@@ -1,0 +1,68 @@
+package faultsim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func TestApplyContextMatchesApply(t *testing.T) {
+	c := mustParse(t, "c17", c17Bench)
+	flist := faults.CollapsedUniverse(c)
+	pats := randomPatterns(rand.New(rand.NewSource(7)), len(c.PseudoInputs()), 200)
+
+	plain := NewEngine(c, flist)
+	nPlain := plain.Apply(pats)
+
+	ctxed := NewEngine(c, flist)
+	nCtx, err := ctxed.ApplyContext(context.Background(), pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nCtx != nPlain || ctxed.DetectedCount() != plain.DetectedCount() ||
+		ctxed.NumPatterns() != plain.NumPatterns() {
+		t.Fatalf("ApplyContext diverged: %d/%d detections, %d/%d patterns",
+			nCtx, nPlain, ctxed.NumPatterns(), plain.NumPatterns())
+	}
+}
+
+func TestApplyContextCancelledPartial(t *testing.T) {
+	c := mustParse(t, "c17", c17Bench)
+	flist := faults.CollapsedUniverse(c)
+	pats := randomPatterns(rand.New(rand.NewSource(7)), len(c.PseudoInputs()), 500)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := NewEngine(c, flist)
+	n, err := e.ApplyContext(ctx, pats)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v", err)
+	}
+	if n != 0 || e.NumPatterns() != 0 {
+		t.Errorf("pre-cancelled apply did work: %d detections, %d patterns", n, e.NumPatterns())
+	}
+	// The engine stays usable after a cancelled call.
+	if _, err := e.ApplyContext(context.Background(), pats); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumPatterns() != len(pats) {
+		t.Errorf("pattern accounting off after resume: %d != %d", e.NumPatterns(), len(pats))
+	}
+}
+
+func TestSimulateContextComplete(t *testing.T) {
+	c := mustParse(t, "c17", c17Bench)
+	flist := faults.CollapsedUniverse(c)
+	pats := randomPatterns(rand.New(rand.NewSource(3)), len(c.PseudoInputs()), 64)
+	want := Simulate(c, pats, flist)
+	got, err := SimulateContext(context.Background(), c, pats, flist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDetected != want.NumDetected {
+		t.Errorf("SimulateContext detected %d, Simulate %d", got.NumDetected, want.NumDetected)
+	}
+}

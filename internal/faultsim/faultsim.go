@@ -5,6 +5,7 @@
 package faultsim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/faults"
@@ -51,6 +52,15 @@ func Simulate(c *netlist.Circuit, patterns []logic.Cube, flist []faults.Fault) *
 	e := NewEngine(c, flist)
 	e.Apply(patterns)
 	return e.Result()
+}
+
+// SimulateContext is Simulate with cancellation at 64-pattern batch
+// granularity. On cancellation it returns the partial Result over the
+// batches actually simulated, together with the context's error.
+func SimulateContext(ctx context.Context, c *netlist.Circuit, patterns []logic.Cube, flist []faults.Fault) (*Result, error) {
+	e := NewEngine(c, flist)
+	_, err := e.ApplyContext(ctx, patterns)
+	return e.Result(), err
 }
 
 // Engine is an incremental fault simulator: patterns are fed in batches via
@@ -183,8 +193,32 @@ func (e *Engine) Result() *Result {
 // Patterns with X bits are simulated with X loaded as 0, matching the
 // deterministic X-fill convention of the ATPG.
 func (e *Engine) Apply(patterns []logic.Cube) int {
+	n, _ := e.apply(nil, patterns)
+	return n
+}
+
+// ApplyContext is Apply with cancellation between 64-pattern batches: a
+// cancelled context stops the simulation at the next batch boundary and
+// returns ctx's error with the detections counted so far. The engine state
+// stays consistent — every fully applied batch is accounted — so a caller
+// may inspect Result and continue or abandon as it sees fit.
+func (e *Engine) ApplyContext(ctx context.Context, patterns []logic.Cube) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return e.apply(ctx, patterns)
+}
+
+func (e *Engine) apply(ctx context.Context, patterns []logic.Cube) (int, error) {
 	newly := 0
 	for off := 0; off < len(patterns); off += sim.WordBits {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				// Account only the patterns actually simulated.
+				e.nPatterns += off
+				return newly, err
+			}
+		}
 		end := off + sim.WordBits
 		if end > len(patterns) {
 			end = len(patterns)
@@ -208,7 +242,7 @@ func (e *Engine) Apply(patterns []logic.Cube) int {
 		}
 	}
 	e.nPatterns += len(patterns)
-	return newly
+	return newly, nil
 }
 
 func (e *Engine) applyBatch(batch []logic.Cube, baseIndex int) int {

@@ -236,13 +236,13 @@ func WriteBench(w io.Writer, c *Circuit) error {
 	return bw.Flush()
 }
 
-// BenchString renders c as a .bench-format string.
+// BenchString renders c as a .bench-format string. It cannot fail: a
+// strings.Builder never rejects a write, so the WriteBench error is
+// structurally nil — and this entry point stays panic-free regardless of
+// the circuit it is handed.
 func BenchString(c *Circuit) string {
 	var b strings.Builder
-	if err := WriteBench(&b, c); err != nil {
-		// strings.Builder writes cannot fail.
-		panic(err)
-	}
+	_ = WriteBench(&b, c)
 	return b.String()
 }
 

@@ -1,9 +1,31 @@
 package netlist
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// seedFromTestdata adds every testdata/*.bench netlist to the fuzz corpus,
+// so the fuzzer mutates from realistic well-formed circuits, not just the
+// inline snippets.
+func seedFromTestdata(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.bench"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no testdata/*.bench seed netlists found")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+}
 
 // FuzzParseBench exercises the .bench parser with arbitrary input. The
 // invariants: no panic; on success the circuit is finalized and its bench
@@ -16,6 +38,7 @@ func FuzzParseBench(f *testing.F) {
 	f.Add("INPUT(a)\nb = DFF(b)\nOUTPUT(b)")
 	f.Add("INPUT(a)\nU = AND(a, V)\nV = BUF(U)")
 	f.Add("x = CONST1()\nOUTPUT(x)")
+	seedFromTestdata(f)
 	f.Fuzz(func(t *testing.T, src string) {
 		c, err := ParseBenchString("fuzz", src)
 		if err != nil {
@@ -38,6 +61,36 @@ func FuzzParseBench(f *testing.F) {
 			t.Fatal("serialization not canonical")
 		}
 	})
+}
+
+// TestTestdataNetlists keeps the fuzz seed corpus honest under plain
+// `go test`: every testdata netlist must parse, finalize and round-trip.
+func TestTestdataNetlists(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.bench"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no testdata/*.bench netlists")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ParseBenchString(p, string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		re, err := ParseBenchString(p, BenchString(c))
+		if err != nil {
+			t.Fatalf("%s: round trip: %v", p, err)
+		}
+		a, b := c.ComputeStats(), re.ComputeStats()
+		if a.Inputs != b.Inputs || a.Outputs != b.Outputs || a.DFFs != b.DFFs || a.Gates != b.Gates || a.Depth != b.Depth {
+			t.Fatalf("%s: round trip changed shape: %+v vs %+v", p, a, b)
+		}
+	}
 }
 
 // FuzzBenchNames stresses parsing with odd identifier content.

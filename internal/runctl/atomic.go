@@ -1,0 +1,67 @@
+package runctl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FPCheckpointWrite is the failpoint name covering every WriteFileAtomic
+// call; tests arm it to simulate a failing disk at the Nth checkpoint.
+const FPCheckpointWrite = "runctl.checkpoint.write"
+
+// WriteFileAtomic writes data to path with a write-to-temp, fsync, rename
+// discipline: a reader (including a resuming run after a crash mid-write)
+// sees either the previous complete file or the new complete file, never a
+// truncated or interleaved one. The temp file lives in path's directory so
+// the rename cannot cross filesystems; it is removed on any failure.
+func WriteFileAtomic(path string, data []byte) (err error) {
+	if err := Hit(FPCheckpointWrite); err != nil {
+		return &CheckpointError{Path: path, Op: "write", Err: err}
+	}
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return &CheckpointError{Path: path, Op: "write", Err: err}
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(data); err != nil {
+		return &CheckpointError{Path: path, Op: "write", Err: err}
+	}
+	// fsync before rename: without it a crash can leave a successfully
+	// renamed but empty file on some filesystems.
+	if err = tmp.Sync(); err != nil {
+		return &CheckpointError{Path: path, Op: "write", Err: err}
+	}
+	if err = tmp.Close(); err != nil {
+		return &CheckpointError{Path: path, Op: "write", Err: err}
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return &CheckpointError{Path: path, Op: "write", Err: err}
+	}
+	return nil
+}
+
+// ReadFile reads a checkpoint file, wrapping failures as CheckpointError.
+func ReadFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, &CheckpointError{Path: path, Op: "read", Err: err}
+	}
+	return data, nil
+}
+
+// ValidateError builds the CheckpointError for a semantically invalid
+// checkpoint (bad version, foreign options hash, corrupt payload).
+func ValidateError(path, format string, args ...any) error {
+	return &CheckpointError{Path: path, Op: "validate", Err: fmt.Errorf(format, args...)}
+}

@@ -1,0 +1,87 @@
+// Package runctl is the run-control layer of the reproduction pipeline:
+// the shared machinery that makes long ATPG and fault-simulation runs
+// cancellable, resumable and failure-tolerant.
+//
+// It provides, with zero cost on the default path:
+//
+//   - typed errors for the two ways a pipeline stage dies abnormally — a
+//     recovered panic (PanicError) and a failed checkpoint write
+//     (CheckpointError) — both of which preserve the stage's partial
+//     results at the boundary that recovered them;
+//   - crash-safe checkpoint file I/O (WriteFileAtomic): a checkpoint is
+//     either the previous complete state or the new complete state, never
+//     a torn mix;
+//   - SIGINT/SIGTERM-to-context wiring (SignalContext) so interactive
+//     interrupts flow through the same cancellation path as -timeout
+//     deadlines; and
+//   - a deterministic fault-injection registry (Arm/ArmPanic/Hit) that
+//     lets tests fail the Nth checkpoint write or panic at the Nth fault,
+//     so the recovery paths above are exercised under `go test` instead
+//     of trusted on faith.
+//
+// Higher layers (internal/atpg, the Live* drivers, the commands) depend on
+// runctl; runctl depends on nothing in the repository, so it can never be
+// part of an import cycle.
+package runctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// PanicError is a panic recovered at a pipeline boundary, converted into a
+// typed error that carries enough context (stage, circuit, fault) to
+// report and debug the failure without taking the process down. The
+// stage's partial results survive: boundaries return them alongside the
+// PanicError.
+type PanicError struct {
+	// Op names the pipeline stage whose boundary recovered the panic,
+	// e.g. "atpg.generate".
+	Op string
+	// Circuit is the circuit being processed, when known.
+	Circuit string
+	// Detail pins the failure to a unit of work (e.g. the fault under
+	// target), when known.
+	Detail string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	msg := fmt.Sprintf("%s: recovered panic: %v", e.Op, e.Value)
+	if e.Circuit != "" {
+		msg += fmt.Sprintf(" (circuit %s", e.Circuit)
+		if e.Detail != "" {
+			msg += ", " + e.Detail
+		}
+		msg += ")"
+	} else if e.Detail != "" {
+		msg += " (" + e.Detail + ")"
+	}
+	return msg
+}
+
+// CheckpointError is a failure to persist or restore run state. The run's
+// in-memory partial results are unaffected; callers decide whether to
+// continue without checkpointing or stop.
+type CheckpointError struct {
+	Path string
+	Op   string // "write", "read", "validate"
+	Err  error
+}
+
+func (e *CheckpointError) Error() string {
+	return fmt.Sprintf("checkpoint %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *CheckpointError) Unwrap() error { return e.Err }
+
+// IsCancel reports whether err is (or wraps) a context cancellation or
+// deadline expiry — the two "the run was asked to stop" outcomes, as
+// opposed to genuine failures.
+func IsCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,221 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestPanicErrorMessage(t *testing.T) {
+	e := &PanicError{Op: "atpg.generate", Circuit: "s953", Detail: "fault g12/SA0", Value: "boom"}
+	msg := e.Error()
+	for _, want := range []string{"atpg.generate", "s953", "g12/SA0", "boom"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("PanicError message %q missing %q", msg, want)
+		}
+	}
+	if m := (&PanicError{Op: "x", Value: 1}).Error(); !strings.Contains(m, "recovered panic") {
+		t.Errorf("minimal PanicError message %q", m)
+	}
+}
+
+func TestCheckpointErrorUnwrap(t *testing.T) {
+	inner := errors.New("disk full")
+	e := &CheckpointError{Path: "/tmp/cp", Op: "write", Err: inner}
+	if !errors.Is(e, inner) {
+		t.Error("CheckpointError does not unwrap to its cause")
+	}
+	var ce *CheckpointError
+	if !errors.As(error(e), &ce) {
+		t.Error("errors.As failed on CheckpointError")
+	}
+}
+
+func TestIsCancel(t *testing.T) {
+	if !IsCancel(context.Canceled) || !IsCancel(context.DeadlineExceeded) {
+		t.Error("bare context errors not recognized")
+	}
+	if !IsCancel(fmt.Errorf("run stopped: %w", context.Canceled)) {
+		t.Error("wrapped cancellation not recognized")
+	}
+	if IsCancel(errors.New("other")) || IsCancel(nil) {
+		t.Error("non-cancellation misclassified")
+	}
+}
+
+func TestFailpointArmAndHit(t *testing.T) {
+	defer DisarmAll()
+	sentinel := errors.New("injected")
+	Arm("fp.test", 3, sentinel)
+	if err := Hit("fp.test"); err != nil {
+		t.Fatalf("hit 1 returned %v, want nil", err)
+	}
+	if err := Hit("fp.test"); err != nil {
+		t.Fatalf("hit 2 returned %v, want nil", err)
+	}
+	if err := Hit("fp.test"); err != sentinel {
+		t.Fatalf("hit 3 returned %v, want sentinel", err)
+	}
+	// One-shot: after triggering, the failpoint is gone.
+	if err := Hit("fp.test"); err != nil {
+		t.Fatalf("hit 4 returned %v, want nil (disarmed)", err)
+	}
+}
+
+func TestFailpointPanic(t *testing.T) {
+	defer DisarmAll()
+	ArmPanic("fp.panic", 1, "kaboom")
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Errorf("recovered %v, want kaboom", r)
+		}
+	}()
+	Hit("fp.panic")
+	t.Error("Hit did not panic")
+}
+
+func TestFailpointDisarm(t *testing.T) {
+	defer DisarmAll()
+	Arm("fp.d", 1, errors.New("x"))
+	Disarm("fp.d")
+	if err := Hit("fp.d"); err != nil {
+		t.Fatalf("disarmed failpoint fired: %v", err)
+	}
+	// Disarming an unknown name is a no-op.
+	Disarm("fp.never-armed")
+}
+
+func TestFailpointNamesIndependent(t *testing.T) {
+	defer DisarmAll()
+	Arm("fp.a", 1, errors.New("a"))
+	if err := Hit("fp.b"); err != nil {
+		t.Fatalf("unarmed name fired: %v", err)
+	}
+	if err := Hit("fp.a"); err == nil {
+		t.Fatal("armed name did not fire")
+	}
+}
+
+func TestFailpointConcurrentHits(t *testing.T) {
+	defer DisarmAll()
+	sentinel := errors.New("hit")
+	Arm("fp.race", 50, sentinel)
+	var wg sync.WaitGroup
+	var fired sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := Hit("fp.race"); err != nil {
+					fired.Store(err, true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	n := 0
+	fired.Range(func(_, _ any) bool { n++; return true })
+	if n != 1 {
+		t.Errorf("failpoint fired %d times, want exactly once", n)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("read %q, want v1", got)
+	}
+	// Overwrite is atomic replace.
+	if err := WriteFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2" {
+		t.Fatalf("read %q, want v2", got)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1: %v", len(entries), entries)
+	}
+}
+
+func TestWriteFileAtomicInjectedFailure(t *testing.T) {
+	defer DisarmAll()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFileAtomic(path, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	Arm(FPCheckpointWrite, 1, errors.New("disk detached"))
+	err := WriteFileAtomic(path, []byte("bad"))
+	var ce *CheckpointError
+	if !errors.As(err, &ce) {
+		t.Fatalf("injected failure returned %v, want *CheckpointError", err)
+	}
+	// The previous complete state survives an injected write failure.
+	if got, _ := os.ReadFile(path); string(got) != "good" {
+		t.Fatalf("file corrupted to %q by failed write", got)
+	}
+}
+
+func TestWriteFileAtomicBadDir(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"))
+	var ce *CheckpointError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *CheckpointError", err)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	_, err := ReadFile(filepath.Join(t.TempDir(), "absent"))
+	var ce *CheckpointError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *CheckpointError", err)
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing-file error does not wrap os.ErrNotExist: %v", err)
+	}
+}
+
+func TestSignalContext(t *testing.T) {
+	ctx, interrupted, stop := SignalContext(context.Background())
+	defer stop()
+	if interrupted() {
+		t.Fatal("interrupted before any signal")
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled after SIGINT")
+	}
+	if !interrupted() {
+		t.Error("interrupted() false after SIGINT cancellation")
+	}
+}
+
+func TestSignalContextStop(t *testing.T) {
+	ctx, interrupted, stop := SignalContext(context.Background())
+	stop()
+	<-ctx.Done() // stop cancels the derived context
+	if interrupted() {
+		t.Error("stop must not count as an interrupt")
+	}
+}

@@ -1,0 +1,38 @@
+package runctl
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+)
+
+// SignalContext derives a context that is cancelled on SIGINT or SIGTERM,
+// routing interactive interrupts through the same cancellation path the
+// pipeline already honours for -timeout deadlines. It returns the derived
+// context, an interrupted() predicate (true once a signal arrived — the
+// commands use it to pick the distinct interrupt exit code over the
+// generic incomplete one), and a stop function releasing the handler.
+//
+// Only the first signal is absorbed: after it, the default disposition is
+// restored, so a second Ctrl-C kills a run that is stuck flushing state.
+func SignalContext(parent context.Context) (ctx context.Context, interrupted func() bool, stop func()) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	var hit atomic.Bool
+	go func() {
+		select {
+		case <-ch:
+			hit.Store(true)
+			signal.Stop(ch) // second signal: default (fatal) behaviour
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, hit.Load, func() {
+		signal.Stop(ch)
+		cancel()
+	}
+}

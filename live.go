@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/atpg"
@@ -33,6 +34,12 @@ type LiveOptions struct {
 	// fault-sim layers emit underneath. It is also propagated into the
 	// ATPG options unless those already carry their own collector.
 	Obs *obs.Collector
+	// Checkpoint enables per-stage checkpoint/resume for the experiment's
+	// ATPG runs. Its Path is a prefix: the stage for core i writes
+	// Path+".core<i>", the monolithic stage writes Path+".mono", so an
+	// interrupted experiment resumes each completed stage from its own
+	// file. Every/Resume apply to each stage unchanged.
+	Checkpoint *atpg.CheckpointConfig
 }
 
 func (o LiveOptions) withDefaults() LiveOptions {
@@ -83,7 +90,15 @@ func (r *LiveResult) Eq2Holds() bool { return r.TMono >= r.MaxCoreT }
 // LiveSOC1 runs the live SOC1 experiment (paper Section 5.1, Table 1):
 // s713, s953 and three s1423 instances.
 func LiveSOC1(opts LiveOptions) (*LiveResult, error) {
-	return liveSOC("SOC1", []string{"s713", "s953", "s1423", "s1423", "s1423"}, opts)
+	return LiveSOC1Context(context.Background(), opts)
+}
+
+// LiveSOC1Context is LiveSOC1 with cancellation: the per-core and
+// monolithic ATPG stages honour ctx at per-fault granularity, and with
+// LiveOptions.Checkpoint set each stage checkpoints and resumes from its
+// own derived file.
+func LiveSOC1Context(ctx context.Context, opts LiveOptions) (*LiveResult, error) {
+	return liveSOC(ctx, "SOC1", []string{"s713", "s953", "s1423", "s1423", "s1423"}, opts)
 }
 
 // LiveSOC2 runs the live SOC2 experiment (paper Section 5.1, Table 2):
@@ -91,11 +106,32 @@ func LiveSOC1(opts LiveOptions) (*LiveResult, error) {
 // expensive experiment in the repository (a ~7000-gate monolithic ATPG
 // run); pass a smaller GateScale for quick runs.
 func LiveSOC2(opts LiveOptions) (*LiveResult, error) {
-	return liveSOC("SOC2", []string{"s953", "s5378", "s13207", "s15850"}, opts)
+	return LiveSOC2Context(context.Background(), opts)
 }
 
-func liveSOC(name string, coreNames []string, opts LiveOptions) (*LiveResult, error) {
+// LiveSOC2Context is LiveSOC2 with cancellation and per-stage
+// checkpoint/resume; see LiveSOC1Context.
+func LiveSOC2Context(ctx context.Context, opts LiveOptions) (*LiveResult, error) {
+	return liveSOC(ctx, "SOC2", []string{"s953", "s5378", "s13207", "s15850"}, opts)
+}
+
+func liveSOC(ctx context.Context, name string, coreNames []string, opts LiveOptions) (*LiveResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
+	// stageOpts derives the ATPG options for one named pipeline stage; with
+	// experiment-level checkpointing each stage gets its own file so the
+	// options-hash validation can bind a checkpoint to its exact stage.
+	stageOpts := func(stage string) atpg.Options {
+		o := opts.ATPG
+		if opts.Checkpoint != nil {
+			cc := *opts.Checkpoint
+			cc.Path = opts.Checkpoint.Path + "." + stage
+			o.Checkpoint = &cc
+		}
+		return o
+	}
 	col := opts.Obs
 	spanAll := col.StartSpan("live.experiment")
 	if col.Tracing() {
@@ -135,7 +171,13 @@ func liveSOC(name string, coreNames []string, opts LiveOptions) (*LiveResult, er
 	spanCores := col.StartSpan("live.percore")
 	for i, c := range circuits {
 		spanCore := col.StartSpan("live.core")
-		r := atpg.Generate(c, opts.ATPG)
+		r, err := atpg.GenerateContext(ctx, c, stageOpts(fmt.Sprintf("core%d", i+1)))
+		if err != nil {
+			spanCore.End()
+			spanCores.End()
+			spanAll.End()
+			return res, fmt.Errorf("repro: live %s core %d (%s): %w", name, i+1, coreNames[i], err)
+		}
 		st := c.ComputeStats()
 		lc := LiveCore{
 			Name:      fmt.Sprintf("Core%d(%s)", i+1, coreNames[i]),
@@ -174,8 +216,12 @@ func liveSOC(name string, coreNames []string, opts LiveOptions) (*LiveResult, er
 		return nil, err
 	}
 	spanMono := col.StartSpan("live.mono")
-	mono := atpg.Generate(flat, opts.ATPG)
+	mono, err := atpg.GenerateContext(ctx, flat, stageOpts("mono"))
 	spanMono.End()
+	if err != nil {
+		spanAll.End()
+		return res, fmt.Errorf("repro: live %s monolithic ATPG: %w", name, err)
+	}
 	res.TMono = mono.PatternCount()
 	res.MonoCoverage = mono.Coverage
 	if col.Tracing() {

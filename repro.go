@@ -27,6 +27,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/atpg"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/runctl"
 	"repro/internal/soc"
 	"repro/internal/wrapper"
 )
@@ -72,6 +74,33 @@ func RunATPG(c *Circuit, opts ATPGOptions) *ATPGResult {
 	return atpg.Generate(c, opts)
 }
 
+// RunATPGContext is RunATPG with cancellation, deadlines, checkpoint/resume
+// (ATPGOptions.Checkpoint) and typed-error reporting: a cancelled run
+// returns a consistent partial result marked Incomplete, and internal
+// panics surface as *PanicError instead of crashing the process.
+func RunATPGContext(ctx context.Context, c *Circuit, opts ATPGOptions) (*ATPGResult, error) {
+	return atpg.GenerateContext(ctx, c, opts)
+}
+
+// Resilience layer (see internal/runctl and internal/atpg): checkpointed,
+// cancellable, failure-tolerant runs.
+type (
+	// CheckpointConfig enables periodic checkpointing of an ATPG run via
+	// ATPGOptions.Checkpoint (or per-stage via LiveOptions.Checkpoint).
+	CheckpointConfig = atpg.CheckpointConfig
+	// PanicError is a panic recovered at a pipeline boundary, carrying the
+	// operation, circuit and fault context plus the original stack.
+	PanicError = runctl.PanicError
+	// CheckpointError reports a failed checkpoint write, read or
+	// validation, carrying the file path and operation.
+	CheckpointError = runctl.CheckpointError
+)
+
+// IsCancel reports whether err stems from context cancellation or a
+// deadline — the "stopped on purpose" class callers usually treat
+// differently from real failures.
+func IsCancel(err error) bool { return runctl.IsCancel(err) }
+
 // Observability (see internal/obs): a Collector threaded through
 // ATPGOptions.Obs or LiveOptions.Obs gathers counters, phase timings,
 // histograms and a structured event trace from the whole pipeline; a
@@ -108,6 +137,12 @@ type ConeAnalysis = cones.Analysis
 // ATPG on each — the paper's Section 3 decomposition.
 func AnalyzeCones(c *Circuit, opts ATPGOptions) (*ConeAnalysis, error) {
 	return cones.Analyze(c, opts)
+}
+
+// AnalyzeConesContext is AnalyzeCones with cancellation at per-cone (and,
+// inside each cone's ATPG, per-fault) granularity.
+func AnalyzeConesContext(ctx context.Context, c *Circuit, opts ATPGOptions) (*ConeAnalysis, error) {
+	return cones.AnalyzeContext(ctx, c, opts)
 }
 
 // ConeModel is the analytic cone model of the paper's Figures 1-2.

@@ -227,7 +227,7 @@ func TestLiveOptionsDefaults(t *testing.T) {
 }
 
 func TestLiveUnknownCore(t *testing.T) {
-	if _, err := liveSOC("X", []string{"c6288"}, LiveOptions{}); err == nil {
+	if _, err := liveSOC(nil, "X", []string{"c6288"}, LiveOptions{}); err == nil {
 		t.Error("unknown core accepted")
 	}
 }
