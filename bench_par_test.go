@@ -1,0 +1,22 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkLiveSOC1PerCoreParallel measures the live SOC1 experiment with
+// its five per-core ATPG jobs run serially vs on a worker pool. The cores
+// are independent, so on a multi-core host the wall clock approaches the
+// slowest core; on one CPU the pool only adds scheduling overhead.
+func BenchmarkLiveSOC1PerCoreParallel(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := LiveSOC1(LiveOptions{GateScale: 0.35, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -18,6 +18,14 @@
 // Ctrl-C (SIGINT) cancels the run gracefully: the trace is flushed, the
 // manifest written, a final checkpoint saved, and the command exits 130.
 //
+// Parallelism:
+//
+//	atpgrun -standin s13207 -workers 8   # shard fault simulation over 8 workers
+//	atpgrun -standin s13207 -workers 1   # force serial (identical results)
+//
+// Results are bit-identical for every -workers value (default 0 = all
+// CPUs), and checkpoints are interchangeable across worker counts.
+//
 // Observability:
 //
 //	atpgrun -standin s953 -trace run.jsonl   # structured event trace (JSONL)
@@ -41,6 +49,7 @@ import (
 	"repro/internal/cones"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/report"
 )
 
@@ -62,6 +71,7 @@ func run() int {
 		verbose   = flag.Bool("v", false, "list aborted and redundant faults")
 		coneMode  = flag.Bool("cones", false, "per-cone analysis instead of whole-circuit ATPG")
 		jsonOut   = flag.Bool("json", false, "write the run manifest as JSON to stdout instead of the human summary")
+		workers   = flag.Int("workers", 0, "worker pool bound for parallel fault simulation (0 = NumCPU, 1 = serial; results are identical for every value)")
 	)
 	var ob cli.Obs
 	ob.Register(flag.CommandLine)
@@ -92,6 +102,7 @@ func run() int {
 	man.SetOption("random", *random)
 	man.SetOption("compact", *compact)
 	man.SetOption("cones", *coneMode)
+	man.SetOption("workers", par.Workers(*workers))
 	if rf.Timeout > 0 {
 		man.SetOption("timeout", rf.Timeout.String())
 	}
@@ -154,6 +165,7 @@ func run() int {
 		FaultBudget:    rf.FaultBudget,
 		Checkpoint:     rf.Checkpoint(),
 		Obs:            col,
+		Workers:        *workers,
 	}
 
 	if *coneMode {

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"strings"
 	"syscall"
@@ -113,5 +116,82 @@ func TestSIGINTExitsInterrupted(t *testing.T) {
 	}
 	if _, err := os.Stat(ckpt); err != nil {
 		t.Fatalf("final checkpoint missing after SIGINT: %v", err)
+	}
+}
+
+// TestWorkersManifestIdentical is the exec-level determinism check: -workers 1
+// and -workers 8 runs must report identical result fields in their -json
+// manifests and leave byte-identical checkpoint files on disk.
+func TestWorkersManifestIdentical(t *testing.T) {
+	bin := buildBinary(t)
+	run := func(w string) (map[string]any, []byte) {
+		t.Helper()
+		ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+		out, err := exec.Command(bin,
+			"-standin", "s953", "-workers", w, "-json",
+			"-checkpoint", ckpt, "-checkpoint-every", "8").Output()
+		if err != nil {
+			t.Fatalf("-workers %s: %v", w, err)
+		}
+		var man struct {
+			Options map[string]any `json:"options"`
+			Results map[string]any `json:"results"`
+		}
+		if err := json.Unmarshal(out, &man); err != nil {
+			t.Fatalf("-workers %s: manifest not JSON: %v", w, err)
+		}
+		data, err := os.ReadFile(ckpt)
+		if err != nil {
+			t.Fatalf("-workers %s: checkpoint missing: %v", w, err)
+		}
+		return man.Results, data
+	}
+	serialRes, serialCkpt := run("1")
+	parRes, parCkpt := run("8")
+	if !reflect.DeepEqual(parRes, serialRes) {
+		t.Errorf("manifest results differ:\n  -workers 1: %v\n  -workers 8: %v", serialRes, parRes)
+	}
+	if !bytes.Equal(parCkpt, serialCkpt) {
+		t.Errorf("checkpoint files differ between -workers 1 and -workers 8 (%d vs %d bytes)", len(serialCkpt), len(parCkpt))
+	}
+}
+
+// TestWorkersRecordedInManifest pins the observability contract: the
+// resolved worker count lands in the manifest options.
+func TestWorkersRecordedInManifest(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-standin", "s713", "-workers", "3", "-json").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man struct {
+		Options map[string]any `json:"options"`
+	}
+	if err := json.Unmarshal(out, &man); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := man.Options["workers"].(float64); !ok || got != 3 {
+		t.Fatalf("manifest options[workers] = %v, want 3", man.Options["workers"])
+	}
+}
+
+// TestWorkersTimeoutExitsIncomplete is the -workers=4 leg of the
+// resilience suite: a timeout interrupting a parallel run must still exit
+// with the incomplete code, report partial work, and leave a loadable
+// checkpoint behind.
+func TestWorkersTimeoutExitsIncomplete(t *testing.T) {
+	bin := buildBinary(t)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	out, err := exec.Command(bin,
+		"-standin", "s15850", "-workers", "4", "-timeout", "300ms",
+		"-checkpoint", ckpt, "-checkpoint-every", "8").CombinedOutput()
+	if code := exitCode(t, err); code != cli.ExitIncomplete {
+		t.Fatalf("exit %d, want %d\n%s", code, cli.ExitIncomplete, out)
+	}
+	if !strings.Contains(string(out), "partial") {
+		t.Errorf("partial results not reported:\n%s", out)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint missing after parallel timeout: %v", err)
 	}
 }

@@ -1,0 +1,198 @@
+// benchjson times the parallel execution layer against its serial
+// baseline and writes the measurements as machine-readable JSON
+// (BENCH_parallel.json by default).
+//
+// Every case is first cross-checked: the timed configurations must produce
+// results identical to the serial run, or the program exits 1 without
+// writing numbers — a speedup measured on divergent output is meaningless.
+//
+// The speedup column is relative to workers=1 within the same case. On a
+// single-CPU host every configuration shares one core, so speedups hover
+// around 1.0 (the pool's dispatch overhead is the interesting number
+// there); the parallel gain appears on hosts where GOMAXPROCS > 1. The
+// host block records cpus/gomaxprocs so readers can tell which regime a
+// file was measured in.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_parallel.json] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"flag"
+
+	"repro"
+	"repro/internal/bench89"
+	"repro/internal/faults"
+	"repro/internal/faultsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+type result struct {
+	Workers int     `json:"workers"`
+	NsPerOp int64   `json:"ns_per_op"`
+	Speedup float64 `json:"speedup"`
+}
+
+type benchCase struct {
+	Name     string   `json:"name"`
+	Patterns int      `json:"patterns,omitempty"`
+	Results  []result `json:"results"`
+}
+
+type report struct {
+	Host struct {
+		CPUs       int    `json:"cpus"`
+		GoMaxProcs int    `json:"gomaxprocs"`
+		GoVersion  string `json:"go_version"`
+	} `json:"host"`
+	Cases []benchCase `json:"cases"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func standin(name string) *netlist.Circuit {
+	prof, ok := bench89.ProfileByName(name)
+	if !ok {
+		fail("unknown stand-in %q", name)
+	}
+	c, err := bench89.Generate(prof)
+	if err != nil {
+		fail("generate %s: %v", name, err)
+	}
+	return c
+}
+
+// faultsimCase times SimulateWorkers at each worker count, after checking
+// every count reproduces the serial detection table exactly.
+func faultsimCase(name string, nPatterns int, workers []int) benchCase {
+	c := standin(name)
+	flist := faults.CollapsedUniverse(c)
+	r := rand.New(rand.NewSource(3))
+	patterns := make([]logic.Cube, nPatterns)
+	for i := range patterns {
+		p := make(logic.Cube, len(c.PseudoInputs()))
+		for j := range p {
+			p[j] = logic.FromBool(r.Intn(2) == 1)
+		}
+		patterns[i] = p
+	}
+
+	want := faultsim.SimulateWorkers(c, patterns, flist, 1)
+	for _, w := range workers[1:] {
+		got := faultsim.SimulateWorkers(c, patterns, flist, w)
+		if !reflect.DeepEqual(got.DetectedBy, want.DetectedBy) {
+			fail("faultsim %s: workers=%d detection table diverges from serial", name, w)
+		}
+	}
+
+	bc := benchCase{Name: "faultsim/" + name, Patterns: nPatterns}
+	var serialNs int64
+	for _, w := range workers {
+		w := w
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				faultsim.SimulateWorkers(c, patterns, flist, w)
+			}
+		})
+		ns := br.NsPerOp()
+		if w == 1 {
+			serialNs = ns
+		}
+		bc.Results = append(bc.Results, result{
+			Workers: w,
+			NsPerOp: ns,
+			Speedup: round2(float64(serialNs) / float64(ns)),
+		})
+	}
+	return bc
+}
+
+// liveCase times the per-core-parallel live SOC1 experiment, after
+// checking every worker count reproduces the serial cores and report.
+func liveCase(scale float64, workers []int) benchCase {
+	run := func(w int) *repro.LiveResult {
+		res, err := repro.LiveSOC1(repro.LiveOptions{GateScale: scale, Workers: w})
+		if err != nil {
+			fail("live SOC1 workers=%d: %v", w, err)
+		}
+		return res
+	}
+	want := run(1)
+	for _, w := range workers[1:] {
+		got := run(w)
+		if !reflect.DeepEqual(got.Cores, want.Cores) || !reflect.DeepEqual(got.Report, want.Report) {
+			fail("live SOC1: workers=%d result diverges from serial", w)
+		}
+	}
+
+	bc := benchCase{Name: fmt.Sprintf("live/SOC1/scale=%.2f", scale)}
+	var serialNs int64
+	for _, w := range workers {
+		w := w
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run(w)
+			}
+		})
+		ns := br.NsPerOp()
+		if w == 1 {
+			serialNs = ns
+		}
+		bc.Results = append(bc.Results, result{
+			Workers: w,
+			NsPerOp: ns,
+			Speedup: round2(float64(serialNs) / float64(ns)),
+		})
+	}
+	return bc
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+func main() {
+	out := flag.String("o", "BENCH_parallel.json", "output `file` for the JSON report")
+	quick := flag.Bool("quick", false, "smaller circuits and pattern counts (smoke mode)")
+	flag.Parse()
+
+	var rep report
+	rep.Host.CPUs = runtime.NumCPU()
+	rep.Host.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.Host.GoVersion = runtime.Version()
+
+	workers := []int{1, 2, 4, 8}
+	if *quick {
+		rep.Cases = append(rep.Cases, faultsimCase("s713", 128, workers))
+	} else {
+		rep.Cases = append(rep.Cases, faultsimCase("s713", 256, workers))
+		rep.Cases = append(rep.Cases, faultsimCase("s1423", 256, workers))
+		rep.Cases = append(rep.Cases, liveCase(0.35, []int{1, 2, 4}))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail("%v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fail("encode: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("close: %v", err)
+	}
+	fmt.Printf("wrote %s (cpus=%d gomaxprocs=%d, %d cases)\n",
+		*out, rep.Host.CPUs, rep.Host.GoMaxProcs, len(rep.Cases))
+}

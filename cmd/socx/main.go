@@ -19,6 +19,13 @@
 // Ctrl-C cancels gracefully: trace flushed, manifest written, last
 // checkpoint kept, exit code 130.
 //
+// Parallelism (with -live):
+//
+//	socx -live -soc SOC1 -workers 4   # per-core ATPG jobs run concurrently
+//
+// Results are bit-identical for every -workers value (default 0 = all
+// CPUs; 1 = serial).
+//
 // Observability (most useful with -live):
 //
 //	socx -live -soc SOC1 -trace run.jsonl -metrics -cpuprofile cpu.pb
@@ -37,6 +44,7 @@ import (
 	"repro"
 	"repro/internal/cli"
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 const prog = "socx"
@@ -52,6 +60,7 @@ func run() int {
 		scale   = flag.Float64("scale", 1.0, "gate-count scale for the live stand-ins, in (0,1]")
 		seed    = flag.Int64("seed", 1, "interconnect seed for the live flattening")
 		jsonOut = flag.Bool("json", false, "write the run manifest as JSON to stdout instead of the rendered tables")
+		workers = flag.Int("workers", 0, "worker pool bound for per-core ATPG and fault simulation (0 = NumCPU, 1 = serial; results are identical for every value)")
 	)
 	var ob cli.Obs
 	ob.Register(flag.CommandLine)
@@ -80,6 +89,7 @@ func run() int {
 	man.SetOption("live", *live)
 	man.SetOption("soc", *which)
 	man.SetOption("scale", *scale)
+	man.SetOption("workers", par.Workers(*workers))
 	if rf.Timeout > 0 {
 		man.SetOption("timeout", rf.Timeout.String())
 	}
@@ -106,7 +116,7 @@ func run() int {
 	ctx, interrupted, stop := rf.Context(context.Background())
 	defer stop()
 
-	opts := repro.LiveOptions{GateScale: *scale, Seed: *seed, Obs: col}
+	opts := repro.LiveOptions{GateScale: *scale, Seed: *seed, Obs: col, Workers: *workers}
 	if rf.FaultBudget > 0 {
 		// Start from the defaults: a partially-set ATPG struct would
 		// bypass the zero-value default substitution.

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -15,16 +16,14 @@ import (
 )
 
 func main() {
-	t4, err := repro.RenderTable4()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(t4)
+	workers := flag.Int("workers", 0, "worker pool bound for the ten SOC syntheses (0 = NumCPU, 1 = serial; output is identical for every value)")
+	flag.Parse()
 
-	rows, err := repro.Table4()
+	rows, err := repro.Table4Workers(*workers)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println(repro.RenderTable4Rows(rows))
 	sort.Slice(rows, func(i, j int) bool {
 		return rows[i].Computed.NormStdev < rows[j].Computed.NormStdev
 	})

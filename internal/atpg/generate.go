@@ -15,6 +15,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/runctl"
 )
 
@@ -63,6 +64,16 @@ type Options struct {
 	// phase spans and the fault simulator's coverage curve. The nil
 	// default keeps the hot path free of any observability cost.
 	Obs *obs.Collector
+	// Workers bounds the worker pool of the parallel phases: random-fill
+	// pattern generation and every fault-dropping simulation pass shard
+	// across up to Workers goroutines, while the PODEM search itself stays
+	// serial per fault. 0 (the default) resolves to runtime.NumCPU();
+	// 1 forces the strictly serial path. Results are bit-identical for
+	// every setting — per-worker RNGs replay the exact draw positions of
+	// the single serial stream, so checkpoints written under any worker
+	// count resume under any other. Workers is deliberately excluded from
+	// the checkpoint options hash for the same reason.
+	Workers int
 }
 
 // DefaultOptions returns the settings used by the paper-reproduction
@@ -176,9 +187,11 @@ func GenerateForFaultsContext(ctx context.Context, c *netlist.Circuit, flist []f
 	rng := rand.New(rand.NewSource(opts.Seed))
 	res = &Result{NumFaults: len(flist)}
 	width := len(c.PseudoInputs())
+	workers := par.Workers(opts.Workers)
 
 	col := opts.Obs
 	spanGen := col.StartSpan("atpg.generate")
+	col.Gauge("atpg.workers").Set(int64(workers))
 	if col.Tracing() {
 		col.Emit("atpg.start",
 			obs.F("circuit", c.Name),
@@ -186,7 +199,8 @@ func GenerateForFaultsContext(ctx context.Context, c *netlist.Circuit, flist []f
 			obs.F("inputs", width),
 			obs.F("backtrack_limit", opts.BacktrackLimit),
 			obs.F("random_patterns", opts.RandomPatterns),
-			obs.F("seed", opts.Seed))
+			obs.F("seed", opts.Seed),
+			obs.F("workers", workers))
 	}
 
 	var cubes []logic.Cube
@@ -295,7 +309,7 @@ func GenerateForFaultsContext(ctx context.Context, c *netlist.Circuit, flist []f
 			cause = errors.Join(cause, serr)
 		}
 		res.Patterns = fillZero(cubes)
-		finalizeAccounting(c, flist, failed, res, col)
+		finalizeAccounting(c, flist, failed, res, col, workers)
 		col.Counter("atpg.canceled").Inc()
 		if col.Tracing() {
 			col.Emit("atpg.canceled",
@@ -315,14 +329,47 @@ func GenerateForFaultsContext(ctx context.Context, c *netlist.Circuit, flist []f
 	// kept patterns are already in the checkpoint's cube list.
 	if !resumed && opts.RandomPatterns > 0 && width > 0 {
 		engine := faultsim.NewEngine(c, flist)
+		engine.SetWorkers(workers)
+		// Instrumented so the random phase — where most of the sharded
+		// fault-simulation work happens — contributes its batch counters
+		// and per-worker busy-time timers to the run manifest.
+		engine.Instrument(col)
 		spanRand := col.StartSpan("atpg.phase.random")
 		randPats := make([]logic.Cube, opts.RandomPatterns)
-		for i := range randPats {
-			p := make(logic.Cube, width)
-			for j := range p {
-				p[j] = logic.FromBool(rng.Intn(2) == 1)
+		if workers > 1 {
+			// Parallel random fill. The worker owning patterns [Lo, Hi)
+			// draws from a private rand.Rand — never a shared one — seeded
+			// like the run RNG and fast-forwarded to its shard's exact
+			// position in the single logical draw stream. The generated
+			// bits, and the RandDraws replay count that checkpoint/resume
+			// depends on, are therefore identical to the serial phase.
+			_ = par.Run(nil, opts.RandomPatterns, workers, func(s par.Shard) error {
+				wr := rand.New(rand.NewSource(opts.Seed))
+				for k := int64(0); k < int64(s.Lo)*int64(width); k++ {
+					wr.Intn(2)
+				}
+				for i := s.Lo; i < s.Hi; i++ {
+					p := make(logic.Cube, width)
+					for j := range p {
+						p[j] = logic.FromBool(wr.Intn(2) == 1)
+					}
+					randPats[i] = p
+				}
+				return nil
+			})
+			// Advance the run RNG past the whole phase so compaction's
+			// X-fill continues from the identical stream position.
+			for k := int64(0); k < int64(opts.RandomPatterns)*int64(width); k++ {
+				rng.Intn(2)
 			}
-			randPats[i] = p
+		} else {
+			for i := range randPats {
+				p := make(logic.Cube, width)
+				for j := range p {
+					p[j] = logic.FromBool(rng.Intn(2) == 1)
+				}
+				randPats[i] = p
+			}
 		}
 		randDraws = int64(opts.RandomPatterns) * int64(width)
 		engine.Apply(randPats)
@@ -354,7 +401,7 @@ func GenerateForFaultsContext(ctx context.Context, c *netlist.Circuit, flist []f
 	// detection state is a pure function of the applied cube list, so a
 	// resumed run rebuilding it from the checkpoint continues the exact
 	// computation the interrupted run was performing.
-	engine := rebaseEngine(c, flist, cubes)
+	engine := rebaseEngine(c, flist, cubes, workers)
 	engine.Instrument(col)
 	pd := newPodem(c, opts.BacktrackLimit, opts.FaultBudget, col)
 	cTargeted := col.Counter("atpg.faults.targeted")
@@ -505,7 +552,7 @@ func GenerateForFaultsContext(ctx context.Context, c *netlist.Circuit, flist []f
 	if opts.Compact {
 		merged := mergeCubes(cubes)
 		patterns = fillAll(merged, rng)
-		patterns = reversePrune(c, flist, patterns)
+		patterns = reversePrune(c, flist, patterns, workers)
 		// Fortuitous detections can depend on the fill; top up any
 		// coverage lost by re-targeting newly undetected faults.
 		for iter := 0; iter < 3; iter++ {
@@ -514,6 +561,7 @@ func GenerateForFaultsContext(ctx context.Context, c *netlist.Circuit, flist []f
 				return finishPartial("compaction", cerr)
 			}
 			check := faultsim.NewEngine(c, flist)
+			check.SetWorkers(workers)
 			check.Apply(patterns)
 			missing := 0
 			for _, f := range check.Remaining() {
@@ -540,7 +588,7 @@ func GenerateForFaultsContext(ctx context.Context, c *netlist.Circuit, flist []f
 	spanCompact.End()
 	res.Patterns = patterns
 
-	finalizeAccounting(c, flist, failed, res, col)
+	finalizeAccounting(c, flist, failed, res, col, workers)
 	if col.Tracing() {
 		col.Emit("atpg.result",
 			obs.F("circuit", c.Name),
@@ -559,8 +607,8 @@ func GenerateForFaultsContext(ctx context.Context, c *netlist.Circuit, flist []f
 // res.Patterns and fills in the coverage bookkeeping. It is shared by the
 // complete and the cancelled exits, so a partial Result is exactly as
 // consistent as a full one.
-func finalizeAccounting(c *netlist.Circuit, flist []faults.Fault, failed map[faults.Fault]Status, res *Result, col *obs.Collector) {
-	final := faultsim.Simulate(c, res.Patterns, flist)
+func finalizeAccounting(c *netlist.Circuit, flist []faults.Fault, failed map[faults.Fault]Status, res *Result, col *obs.Collector, workers int) {
+	final := faultsim.SimulateWorkers(c, res.Patterns, flist, workers)
 	res.NumDetected = final.NumDetected
 	res.NumRedundant, res.NumAborted = 0, 0
 	for _, st := range failed {
@@ -637,8 +685,9 @@ func extendCube(c *netlist.Circuit, pd *podem, engine *faultsim.Engine,
 
 // rebaseEngine replays the kept patterns on a fresh engine so subsequent
 // detection bookkeeping is relative to the kept list.
-func rebaseEngine(c *netlist.Circuit, flist []faults.Fault, kept []logic.Cube) *faultsim.Engine {
+func rebaseEngine(c *netlist.Circuit, flist []faults.Fault, kept []logic.Cube, workers int) *faultsim.Engine {
 	e := faultsim.NewEngine(c, flist)
+	e.SetWorkers(workers)
 	if len(kept) > 0 {
 		e.Apply(kept)
 	}
@@ -698,8 +747,9 @@ func fillAll(cubes []logic.Cube, rng *rand.Rand) []logic.Cube {
 
 // reversePrune drops patterns that add no detection when the set is fault
 // simulated in reverse order — classic reverse-order compaction.
-func reversePrune(c *netlist.Circuit, flist []faults.Fault, patterns []logic.Cube) []logic.Cube {
+func reversePrune(c *netlist.Circuit, flist []faults.Fault, patterns []logic.Cube, workers int) []logic.Cube {
 	e := faultsim.NewEngine(c, flist)
+	e.SetWorkers(workers)
 	var keptRev []logic.Cube
 	for i := len(patterns) - 1; i >= 0; i-- {
 		if e.Apply([]logic.Cube{patterns[i]}) > 0 {

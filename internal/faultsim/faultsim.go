@@ -7,11 +7,13 @@ package faultsim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -49,7 +51,15 @@ func (r *Result) UndetectedFaults() []faults.Fault {
 // Simulate runs the pattern set against the fault list with fault dropping
 // and returns the per-fault first detection.
 func Simulate(c *netlist.Circuit, patterns []logic.Cube, flist []faults.Fault) *Result {
+	return SimulateWorkers(c, patterns, flist, 1)
+}
+
+// SimulateWorkers is Simulate with the fault list sharded across up to
+// `workers` goroutines per 64-pattern batch (0 resolves to runtime.NumCPU()).
+// The result is bit-identical to Simulate for every worker count.
+func SimulateWorkers(c *netlist.Circuit, patterns []logic.Cube, flist []faults.Fault, workers int) *Result {
 	e := NewEngine(c, flist)
+	e.SetWorkers(workers)
 	e.Apply(patterns)
 	return e.Result()
 }
@@ -76,22 +86,55 @@ type Engine struct {
 	nDetected  int
 	nPatterns  int
 
-	good  []uint64 // good-circuit words of the current batch
-	fw    []uint64 // faulty words (epoch-validated)
-	epoch []uint32
-	cur   uint32
+	good []uint64 // good-circuit words of the current batch
 
-	ppos    []netlist.GateID
-	dffPPO  map[netlist.GateID][]int // DFF gate -> indices in ppo frame
-	scratch []uint64
+	ppos   []netlist.GateID
+	dffPPO map[netlist.GateID][]int // DFF gate -> indices in ppo frame
+
+	// Parallel detection. workers is the shard bound (1 = strictly serial);
+	// ev is the serial evaluator, evals the lazily-grown per-worker pool,
+	// and dets the index-addressed detection-word slots (parallel to
+	// remaining) that workers fill and the serial merge consumes in order.
+	workers int
+	ev      *faultEval
+	evals   []*faultEval
+	dets    []uint64
 
 	// Observability (all nil/false by default: zero overhead).
 	col         *obs.Collector
 	cPatterns   *obs.Counter // faultsim.patterns.applied
 	cDropped    *obs.Counter // faultsim.faults.dropped
 	cBatches    *obs.Counter // faultsim.batches
+	tWorkers    []*obs.Timer // faultsim.worker.N busy time (sharded batches)
 	recordCurve bool
 	curve       []CurvePoint
+}
+
+// minShardFaults is the remaining-fault count below which a batch is
+// simulated serially even on a multi-worker engine: under this size the
+// goroutine fan-out costs more than the detection words it spreads out.
+// The threshold never affects results, only wall-clock. A variable so the
+// determinism tests can force tiny circuits through the sharded path.
+var minShardFaults = 128
+
+// faultEval holds the per-goroutine scratch state of single-fault
+// propagation: the epoch-validated faulty words over the good-circuit words
+// of the engine's current batch. Each worker owns one evaluator, so sharded
+// detection touches no shared mutable state.
+type faultEval struct {
+	e       *Engine
+	fw      []uint64 // faulty words (epoch-validated)
+	epoch   []uint32
+	cur     uint32
+	scratch []uint64
+}
+
+func newFaultEval(e *Engine) *faultEval {
+	return &faultEval{
+		e:     e,
+		fw:    make([]uint64, e.c.NumGates()),
+		epoch: make([]uint32, e.c.NumGates()),
+	}
 }
 
 // CurvePoint is one point of the coverage-vs-pattern curve: the cumulative
@@ -112,11 +155,11 @@ func NewEngine(c *netlist.Circuit, flist []faults.Fault) *Engine {
 		flist:      flist,
 		detectedBy: make([]int, len(flist)),
 		good:       make([]uint64, c.NumGates()),
-		fw:         make([]uint64, c.NumGates()),
-		epoch:      make([]uint32, c.NumGates()),
 		ppos:       c.PseudoOutputs(),
 		dffPPO:     make(map[netlist.GateID][]int),
+		workers:    1,
 	}
+	e.ev = newFaultEval(e)
 	for i := range e.detectedBy {
 		e.detectedBy[i] = Undetected
 		e.remaining = append(e.remaining, i)
@@ -145,6 +188,20 @@ func (e *Engine) Instrument(col *obs.Collector) {
 	e.cBatches = col.Counter("faultsim.batches")
 	e.EnableCurve()
 }
+
+// SetWorkers bounds the worker pool Apply may use to shard the
+// remaining-fault list per 64-pattern batch: n > 1 shards, n == 1 (the
+// default) keeps the engine strictly serial, and n <= 0 resolves to
+// runtime.NumCPU(). Detection outcomes are bit-identical for every
+// setting — workers write detection words into index-addressed slots and
+// the fault-dropping merge stays serial, in fault order — so only
+// wall-clock changes.
+func (e *Engine) SetWorkers(n int) {
+	e.workers = par.Workers(n)
+}
+
+// Workers reports the engine's resolved worker bound.
+func (e *Engine) Workers() int { return e.workers }
 
 // EnableCurve turns on coverage-vs-pattern curve recording (one point per
 // applied batch). Off by default so the ATPG hot path pays nothing.
@@ -256,10 +313,24 @@ func (e *Engine) applyBatch(batch []logic.Cube, baseIndex int) int {
 	}
 	mask := e.psim.Mask()
 
+	// Detection words come either from the per-worker shards (index-
+	// addressed slots, one per remaining fault) or from the serial
+	// evaluator; the drop/first-detection merge below is serial and in
+	// fault order either way, so both paths are bit-identical.
+	var dets []uint64
+	if e.workers > 1 && len(e.remaining) >= minShardFaults {
+		dets = e.shardDetect(mask)
+	}
+
 	newly := 0
 	keep := e.remaining[:0]
-	for _, fi := range e.remaining {
-		det := e.detectWord(e.flist[fi], mask)
+	for i, fi := range e.remaining {
+		var det uint64
+		if dets != nil {
+			det = dets[i]
+		} else {
+			det = e.ev.detectWord(e.flist[fi], mask)
+		}
 		if det == 0 {
 			keep = append(keep, fi)
 			continue
@@ -278,16 +349,67 @@ func (e *Engine) applyBatch(batch []logic.Cube, baseIndex int) int {
 	return newly
 }
 
+// shardDetect computes the detection word of every remaining fault for the
+// loaded batch, sharded across the engine's workers. Slot i of the returned
+// slice belongs to e.remaining[i] regardless of which worker computed it.
+func (e *Engine) shardDetect(mask uint64) []uint64 {
+	n := len(e.remaining)
+	if cap(e.dets) < n {
+		e.dets = make([]uint64, n)
+	}
+	dets := e.dets[:n]
+	evals := e.shardEvals()
+	timers := e.workerTimers()
+	_ = par.Run(nil, n, e.workers, func(s par.Shard) error {
+		ev := evals[s.Worker]
+		var start time.Time
+		if timers != nil {
+			start = time.Now()
+		}
+		for i := s.Lo; i < s.Hi; i++ {
+			dets[i] = ev.detectWord(e.flist[e.remaining[i]], mask)
+		}
+		if timers != nil {
+			timers[s.Worker].Since(start)
+		}
+		return nil
+	})
+	return dets
+}
+
+// shardEvals grows the per-worker evaluator pool to the current worker
+// bound. Evaluators are reused across batches; each is private to one
+// worker slot for the duration of a sharded batch.
+func (e *Engine) shardEvals() []*faultEval {
+	for len(e.evals) < e.workers {
+		e.evals = append(e.evals, newFaultEval(e))
+	}
+	return e.evals[:e.workers]
+}
+
+// workerTimers lazily creates the per-worker busy-time timers. Nil (no
+// overhead) unless the engine is instrumented.
+func (e *Engine) workerTimers() []*obs.Timer {
+	if e.col == nil {
+		return nil
+	}
+	for len(e.tWorkers) < e.workers {
+		e.tWorkers = append(e.tWorkers, e.col.Timer(fmt.Sprintf("faultsim.worker.%d", len(e.tWorkers))))
+	}
+	return e.tWorkers[:e.workers]
+}
+
 // detectWord computes the detection word of one fault for the loaded batch:
 // bit k set iff pattern k detects the fault at any pseudo output.
-func (e *Engine) detectWord(f faults.Fault, mask uint64) uint64 {
-	return e.detectWordDetail(f, mask, nil)
+func (ev *faultEval) detectWord(f faults.Fault, mask uint64) uint64 {
+	return ev.detectWordDetail(f, mask, nil)
 }
 
 // detectWordDetail is detectWord with an optional per-output capture:
 // when perPPO is non-nil (length = pseudo-output frame), perPPO[i] receives
 // the word of patterns failing at output i.
-func (e *Engine) detectWordDetail(f faults.Fault, mask uint64, perPPO []uint64) uint64 {
+func (ev *faultEval) detectWordDetail(f faults.Fault, mask uint64, perPPO []uint64) uint64 {
+	e := ev.e
 	stuck := uint64(0)
 	if f.Stuck == logic.One {
 		stuck = ^uint64(0)
@@ -309,26 +431,26 @@ func (e *Engine) detectWordDetail(f faults.Fault, mask uint64, perPPO []uint64) 
 		return det
 	}
 
-	e.cur++
-	if e.cur == 0 { // epoch wrapped: reset
-		for i := range e.epoch {
-			e.epoch[i] = 0
+	ev.cur++
+	if ev.cur == 0 { // epoch wrapped: reset
+		for i := range ev.epoch {
+			ev.epoch[i] = 0
 		}
-		e.cur = 1
+		ev.cur = 1
 	}
 
 	var site netlist.GateID
 	if f.Pin == faults.StemPin {
 		site = f.Gate
-		e.fw[site] = stuck
-		e.epoch[site] = e.cur
+		ev.fw[site] = stuck
+		ev.epoch[site] = ev.cur
 	} else {
 		// Branch fault: recompute gate f.Gate with pin forced.
 		site = f.Gate
-		e.fw[site] = e.evalWithPin(g, f.Pin, stuck)
-		e.epoch[site] = e.cur
+		ev.fw[site] = ev.evalWithPin(g, f.Pin, stuck)
+		ev.epoch[site] = ev.cur
 	}
-	if e.fw[site] == e.good[site] {
+	if ev.fw[site] == e.good[site] {
 		// The fault never changes the site value for this batch — but a
 		// stem stuck fault still differs wherever good != stuck; that IS
 		// fw != good. Equal means undetectable in this batch.
@@ -346,7 +468,7 @@ func (e *Engine) detectWordDetail(f faults.Fault, mask uint64, perPPO []uint64) 
 		gg := e.c.Gate(id)
 		touched := false
 		for _, fin := range gg.Fanin {
-			if e.epoch[fin] == e.cur {
+			if ev.epoch[fin] == ev.cur {
 				touched = true
 				break
 			}
@@ -354,21 +476,21 @@ func (e *Engine) detectWordDetail(f faults.Fault, mask uint64, perPPO []uint64) 
 		if !touched {
 			continue
 		}
-		if cap(e.scratch) < len(gg.Fanin) {
-			e.scratch = make([]uint64, len(gg.Fanin))
+		if cap(ev.scratch) < len(gg.Fanin) {
+			ev.scratch = make([]uint64, len(gg.Fanin))
 		}
-		in := e.scratch[:len(gg.Fanin)]
+		in := ev.scratch[:len(gg.Fanin)]
 		for j, fin := range gg.Fanin {
-			if e.epoch[fin] == e.cur {
-				in[j] = e.fw[fin]
+			if ev.epoch[fin] == ev.cur {
+				in[j] = ev.fw[fin]
 			} else {
 				in[j] = e.good[fin]
 			}
 		}
 		v := sim.EvalGateWord(gg.Type, in)
 		if v != e.good[id] {
-			e.fw[id] = v
-			e.epoch[id] = e.cur
+			ev.fw[id] = v
+			ev.epoch[id] = ev.cur
 		}
 	}
 
@@ -377,8 +499,8 @@ func (e *Engine) detectWordDetail(f faults.Fault, mask uint64, perPPO []uint64) 
 	// or a gate feeding a DFF) is covered by the same comparison.
 	var det uint64
 	for i, id := range e.ppos {
-		if e.epoch[id] == e.cur {
-			d := (e.fw[id] ^ e.good[id]) & mask
+		if ev.epoch[id] == ev.cur {
+			d := (ev.fw[id] ^ e.good[id]) & mask
 			det |= d
 			if perPPO != nil {
 				perPPO[i] = d
@@ -390,16 +512,16 @@ func (e *Engine) detectWordDetail(f faults.Fault, mask uint64, perPPO []uint64) 
 
 // evalWithPin recomputes gate g with fanin pin forced to the given word and
 // all other fanins at their good values.
-func (e *Engine) evalWithPin(g *netlist.Gate, pin int, forced uint64) uint64 {
-	if cap(e.scratch) < len(g.Fanin) {
-		e.scratch = make([]uint64, len(g.Fanin))
+func (ev *faultEval) evalWithPin(g *netlist.Gate, pin int, forced uint64) uint64 {
+	if cap(ev.scratch) < len(g.Fanin) {
+		ev.scratch = make([]uint64, len(g.Fanin))
 	}
-	in := e.scratch[:len(g.Fanin)]
+	in := ev.scratch[:len(g.Fanin)]
 	for j, fin := range g.Fanin {
 		if j == pin {
 			in[j] = forced
 		} else {
-			in[j] = e.good[fin]
+			in[j] = ev.e.good[fin]
 		}
 	}
 	if !g.Type.Combinational() {
@@ -429,7 +551,7 @@ func FailingPositions(c *netlist.Circuit, patterns []logic.Cube, f faults.Fault)
 		for i := range perPPO {
 			perPPO[i] = 0
 		}
-		e.detectWordDetail(f, e.psim.Mask(), perPPO)
+		e.ev.detectWordDetail(f, e.psim.Mask(), perPPO)
 		for i, w := range perPPO {
 			for w != 0 {
 				k := trailingZeros(w)

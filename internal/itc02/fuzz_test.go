@@ -10,6 +10,12 @@ func FuzzParseSOC(f *testing.F) {
 	f.Add("soc y\ntmono 10\nmodule T children A testeraccess\nmodule A t 5 s 9\ntop T\n")
 	f.Add("# nothing\n")
 	f.Add("soc z\nmodule A t 1 children A\ntop A\n")
+	// Directive-named modules and comment/whitespace edges: a module may
+	// legally be called top/module/children; the parser keys on position,
+	// and the writer must emit text that reparses to the same SOC.
+	f.Add("soc k\nmodule top t 1\ntop top\n")
+	f.Add("soc k2\n  module children i 1 t 2 children module  # comment\nmodule module t 3\ntop children\n")
+	f.Add("# leading comment\n\r\nsoc w\r\nmodule A t 4 testeraccess\r\ntop A\r\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		s, err := ParseSOCString(src)
 		if err != nil {

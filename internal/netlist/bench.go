@@ -44,13 +44,13 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 			continue
 		}
 		switch {
-		case hasPrefixFold(line, "INPUT"):
+		case isDecl(line, "INPUT"):
 			arg, err := parseParen(line[len("INPUT"):], lineNo)
 			if err != nil {
 				return nil, err
 			}
 			inputs = append(inputs, arg)
-		case hasPrefixFold(line, "OUTPUT"):
+		case isDecl(line, "OUTPUT"):
 			arg, err := parseParen(line[len("OUTPUT"):], lineNo)
 			if err != nil {
 				return nil, err
@@ -248,6 +248,18 @@ func BenchString(c *Circuit) string {
 
 func hasPrefixFold(s, prefix string) bool {
 	return len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix)
+}
+
+// isDecl reports whether line is a genuine `KEYWORD(name)` declaration.
+// The keyword prefix alone is not enough: `INPUT1 = AND(a, b)` is an
+// assignment to a net that happens to start with INPUT, so the keyword
+// must be followed (after optional spaces) by an opening parenthesis.
+func isDecl(line, keyword string) bool {
+	if !hasPrefixFold(line, keyword) {
+		return false
+	}
+	rest := strings.TrimSpace(line[len(keyword):])
+	return strings.HasPrefix(rest, "(")
 }
 
 func parseParen(s string, line int) (string, error) {

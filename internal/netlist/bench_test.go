@@ -161,3 +161,61 @@ func TestWriteBenchDeterministic(t *testing.T) {
 		t.Errorf("unexpected output:\n%s", a)
 	}
 }
+
+// TestParseBenchKeywordPrefixedNets is the regression case for a real
+// parser bug: an assignment whose left-hand net name starts with INPUT or
+// OUTPUT (legal in the ISCAS'89 corpus) was misclassified as a declaration
+// and rejected — which also broke the BenchString round trip for circuits
+// holding such names.
+func TestParseBenchKeywordPrefixedNets(t *testing.T) {
+	src := `
+INPUT(A)
+INPUT(B)
+OUTPUT(OUTPUT1)
+INPUT1 = AND(A, B)
+OUTPUTX = NOR(INPUT1, B)
+OUTPUT1 = XNOR(OUTPUTX, INPUT1)
+`
+	c, err := ParseBenchString("prefix", src)
+	if err != nil {
+		t.Fatalf("keyword-prefixed net names rejected: %v", err)
+	}
+	for _, n := range []string{"INPUT1", "OUTPUTX", "OUTPUT1"} {
+		if _, ok := c.Lookup(n); !ok {
+			t.Errorf("net %q lost", n)
+		}
+	}
+	if got := len(c.Inputs()); got != 2 {
+		t.Errorf("inputs = %d, want 2 (assignments counted as declarations?)", got)
+	}
+	// The writer emits these names back; the reparse must accept them.
+	re, err := ParseBenchString("prefix", BenchString(c))
+	if err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if re.NumGates() != c.NumGates() {
+		t.Errorf("round trip changed gate count: %d vs %d", re.NumGates(), c.NumGates())
+	}
+}
+
+// TestParseBenchDeclarationSpacing pins the flip side: keyword followed by
+// whitespace before the parenthesis is still a declaration, and a net
+// named exactly INPUT on the left of an assignment is a net, not a
+// declaration.
+func TestParseBenchDeclarationSpacing(t *testing.T) {
+	src := "INPUT ( A )\nOUTPUT\t(Y)\nINPUT = NOT(A)\nY = BUF(INPUT)\n"
+	c, err := ParseBenchString("spacing", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Inputs()); got != 1 {
+		t.Errorf("inputs = %d, want 1", got)
+	}
+	id, ok := c.Lookup("INPUT")
+	if !ok {
+		t.Fatal("net named INPUT lost")
+	}
+	if c.Gate(id).Type != Not {
+		t.Errorf("net INPUT parsed as %v, want NOT", c.Gate(id).Type)
+	}
+}

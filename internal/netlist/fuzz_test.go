@@ -38,6 +38,13 @@ func FuzzParseBench(f *testing.F) {
 	f.Add("INPUT(a)\nb = DFF(b)\nOUTPUT(b)")
 	f.Add("INPUT(a)\nU = AND(a, V)\nV = BUF(U)")
 	f.Add("x = CONST1()\nOUTPUT(x)")
+	// Whitespace/comment edges and keyword-prefixed net names — the
+	// INPUT1-as-LHS shape is the regression seed for a real parser bug.
+	f.Add("INPUT(a)\nOUTPUT(OUTPUT1)\nINPUT1 = AND(a, a)\nOUTPUT1 = NOT(INPUT1)\n")
+	f.Add("INPUT ( a )\nOUTPUT\t(y)\ny = NOT( a )  # trailing comment\n")
+	f.Add("\r\nINPUT(a)\r\nOUTPUT(y)\r\ny = BUF(a)\r\n")
+	f.Add("#comment only\n   \n\t\nINPUT(a)\nOUTPUT(a)")
+	f.Add("input(a)\noutput(y)\ny = inv(a)\nINPUT = buff(y) # net named INPUT\n")
 	seedFromTestdata(f)
 	f.Fuzz(func(t *testing.T, src string) {
 		c, err := ParseBenchString("fuzz", src)

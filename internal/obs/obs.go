@@ -34,6 +34,22 @@ func (c *Collector) Metrics() *Registry {
 	return c.reg
 }
 
+// Fork returns a child collector over a fresh registry sharing c's trace
+// sink, plus that registry. Concurrent jobs (e.g. the per-core ATPG runs
+// of a live experiment) each instrument a fork, then the caller folds the
+// forked registries into the parent with Registry.Merge — serially, in job
+// order — so the merged totals never depend on goroutine scheduling. The
+// shared sink is safe for concurrent emission, but interleaving of traced
+// events across forks follows real time. A nil collector forks to
+// (nil, nil), keeping the disabled path free.
+func (c *Collector) Fork() (*Collector, *Registry) {
+	if c == nil {
+		return nil, nil
+	}
+	reg := NewRegistry()
+	return New(reg, c.sink), reg
+}
+
 // Counter returns the named counter, or nil when disabled.
 func (c *Collector) Counter(name string) *Counter {
 	if c == nil {

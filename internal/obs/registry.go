@@ -302,6 +302,97 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	return h
 }
 
+// merge folds another timer's accumulated state into t.
+func (t *Timer) merge(o *Timer) {
+	if t == nil || o == nil {
+		return
+	}
+	t.count.Add(o.count.Load())
+	t.total.Add(o.total.Load())
+	m := o.max.Load()
+	for {
+		cur := t.max.Load()
+		if m <= cur || t.max.CompareAndSwap(cur, m) {
+			return
+		}
+	}
+}
+
+// merge folds another histogram's counts into h. Mismatched bucket shapes
+// collapse into the overflow bucket rather than dropping observations.
+func (h *Histogram) merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	s := o.Stats()
+	if s.Count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(s.Counts) == len(h.counts) {
+		for i, c := range s.Counts {
+			h.counts[i] += c
+		}
+	} else {
+		h.counts[len(h.counts)-1] += s.Count
+	}
+	if h.count == 0 || s.Min < h.min {
+		h.min = s.Min
+	}
+	if h.count == 0 || s.Max > h.max {
+		h.max = s.Max
+	}
+	h.count += s.Count
+	h.sum += s.Sum
+}
+
+// Merge folds every metric of other into r: counters and timers accumulate
+// (timer max takes the larger maximum), histograms add bucket counts, and
+// gauges adopt other's last value — so callers merging several forked
+// registries should do it serially, in a fixed order, to keep gauge
+// outcomes deterministic. Either registry may be nil (no-op). Other is not
+// modified.
+func (r *Registry) Merge(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	other.mu.Lock()
+	counters := make(map[string]*Counter, len(other.counters))
+	for k, v := range other.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(other.gauges))
+	for k, v := range other.gauges {
+		gauges[k] = v
+	}
+	timers := make(map[string]*Timer, len(other.timers))
+	for k, v := range other.timers {
+		timers[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(other.histograms))
+	for k, v := range other.histograms {
+		histograms[k] = v
+	}
+	other.mu.Unlock()
+
+	for name, c := range counters {
+		r.Counter(name).Add(c.Value())
+	}
+	for name, g := range gauges {
+		r.Gauge(name).Set(g.Value())
+	}
+	for name, t := range timers {
+		r.Timer(name).merge(t)
+	}
+	for name, h := range histograms {
+		h.mu.Lock()
+		bounds := append([]float64(nil), h.bounds...)
+		h.mu.Unlock()
+		r.Histogram(name, bounds...).merge(h)
+	}
+}
+
 // Snapshot is a point-in-time copy of every metric in a Registry, in the
 // shape the run manifest embeds.
 type Snapshot struct {

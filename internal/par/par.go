@@ -1,0 +1,228 @@
+// Package par is the parallel execution layer of the reproduction: a small,
+// dependency-free worker pool used by fault simulation, ATPG and the live
+// SOC experiments to spread independent per-fault and per-core work across
+// goroutines without giving up determinism.
+//
+// The package enforces one discipline everywhere: workers never merge.
+// Workers compute into index-addressed slots owned by the caller, and the
+// caller folds the slots together serially, in index order, after the pool
+// drains. Output therefore never depends on goroutine scheduling, and a
+// one-worker pool is exactly the serial loop it replaced. The layer's
+// companions (the determinism suite and the differential oracle in
+// internal/faultsim and internal/atpg) hold that guarantee under test.
+//
+// Error and panic handling follow the same rule: when several workers fail,
+// the error (or re-panic) the caller observes is the one with the lowest
+// index, not the first one scheduled.
+package par
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: n itself when positive,
+// runtime.NumCPU() otherwise. Commands expose the setting as -workers with
+// 0 ("use every core") as the default.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// Shard is a contiguous index range [Lo, Hi) assigned to one worker.
+// Worker identifies the slot of per-worker scratch state the shard may use.
+type Shard struct {
+	Worker int
+	Lo, Hi int
+}
+
+// Shards splits [0, n) into at most workers contiguous, near-equal ranges.
+// Every shard is non-empty; fewer than workers shards are returned when n
+// is small. Shards(n, 1) is the single full range.
+func Shards(n, workers int) []Shard {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]Shard, 0, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		out = append(out, Shard{Worker: len(out), Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// Panic carries a panic recovered on a worker goroutine across to the
+// caller's goroutine, preserving the original value and the worker's stack.
+// Run and ForEach re-panic with a *Panic so a recover boundary upstream
+// (e.g. the ATPG panic boundary) still sees the failure, with the worker
+// stack attached instead of silently crashing the process.
+type Panic struct {
+	Value any
+	Stack []byte
+}
+
+func (p *Panic) String() string {
+	return fmt.Sprintf("worker panic: %v\n%s", p.Value, p.Stack)
+}
+
+// Run executes fn over the static contiguous shards of [0, n) on up to
+// `workers` goroutines and blocks until every shard finishes. Results must
+// be written by fn into index-addressed slots; Run itself merges nothing.
+//
+// With workers <= 1 (or n <= 1) fn runs inline on the calling goroutine —
+// the serial path is literally the caller's own loop. A nil ctx means no
+// cancellation; a cancelled ctx stops shards from starting (running shards
+// are expected to poll ctx themselves if their items are slow). The
+// returned error is the lowest-Worker shard error, or ctx's error when
+// cancellation prevented shards from starting. A panicking worker
+// re-panics on the caller with a *Panic.
+func Run(ctx context.Context, n, workers int, fn func(s Shard) error) error {
+	shards := Shards(n, Workers(workers))
+	if len(shards) == 0 {
+		return nil
+	}
+	if len(shards) == 1 {
+		return fn(shards[0])
+	}
+	errs := make([]error, len(shards))
+	panics := make([]*Panic, len(shards))
+	var wg sync.WaitGroup
+	for _, s := range shards {
+		if ctx != nil && ctx.Err() != nil {
+			errs[s.Worker] = ctx.Err()
+			continue
+		}
+		wg.Add(1)
+		go func(s Shard) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					buf := make([]byte, 16<<10)
+					panics[s.Worker] = &Panic{Value: r, Stack: buf[:runtime.Stack(buf, false)]}
+				}
+			}()
+			errs[s.Worker] = fn(s)
+		}(s)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach executes fn(i) for every i in [0, n) on up to `workers`
+// goroutines with dynamic dispatch: workers pull the next index as they
+// finish, so uneven item costs (one big core among small ones) balance
+// automatically. After any fn returns an error, no new indices are
+// dispatched; indices already in flight complete.
+//
+// It returns (-1, nil) when every index succeeded. On failure it returns
+// the lowest failed index and that index's error — deterministic even when
+// several items fail in scheduling-dependent order. When ctx cancellation
+// (rather than an fn error) stopped dispatch, it returns the lowest
+// undispatched index and ctx's error.
+//
+// With workers <= 1 fn runs inline in index order, stopping at the first
+// error — exactly the serial loop. A panicking worker re-panics on the
+// caller with a *Panic carrying the lowest panicking index's value.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) (int, error) {
+	if n <= 0 {
+		return -1, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return i, ctx.Err()
+			}
+			if err := fn(i); err != nil {
+				return i, err
+			}
+		}
+		return -1, nil
+	}
+
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errs    = make([]error, n)
+		panics  = make([]*Panic, n)
+		stopped atomic.Int64 // lowest index skipped because of cancellation
+		wg      sync.WaitGroup
+	)
+	stopped.Store(int64(n))
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failed.Load() {
+					return
+				}
+				if ctx != nil && ctx.Err() != nil {
+					for {
+						cur := stopped.Load()
+						if int64(i) >= cur || stopped.CompareAndSwap(cur, int64(i)) {
+							return
+						}
+					}
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							buf := make([]byte, 16<<10)
+							panics[i] = &Panic{Value: r, Stack: buf[:runtime.Stack(buf, false)]}
+							failed.Store(true)
+						}
+					}()
+					errs[i] = fn(i)
+				}()
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return i, err
+		}
+	}
+	if s := int(stopped.Load()); s < n && ctx != nil && ctx.Err() != nil {
+		return s, ctx.Err()
+	}
+	return -1, nil
+}

@@ -1,0 +1,242 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Fatalf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Fatalf("Workers(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+}
+
+func TestShardsCoverExactly(t *testing.T) {
+	for n := 0; n <= 67; n++ {
+		for w := 1; w <= 9; w++ {
+			shards := Shards(n, w)
+			seen := make([]bool, n)
+			for i, s := range shards {
+				if s.Worker != i {
+					t.Fatalf("n=%d w=%d: shard %d has Worker %d", n, w, i, s.Worker)
+				}
+				if s.Lo >= s.Hi {
+					t.Fatalf("n=%d w=%d: empty shard %+v", n, w, s)
+				}
+				for j := s.Lo; j < s.Hi; j++ {
+					if seen[j] {
+						t.Fatalf("n=%d w=%d: index %d covered twice", n, w, j)
+					}
+					seen[j] = true
+				}
+			}
+			for j, ok := range seen {
+				if !ok {
+					t.Fatalf("n=%d w=%d: index %d not covered", n, w, j)
+				}
+			}
+			if n > 0 && len(shards) > w {
+				t.Fatalf("n=%d w=%d: %d shards", n, w, len(shards))
+			}
+		}
+	}
+}
+
+// TestRunIndexAddressed is the core determinism contract: every index is
+// computed exactly once into its own slot, independent of worker count.
+func TestRunIndexAddressed(t *testing.T) {
+	const n = 1000
+	for _, w := range []int{1, 2, 3, 8, 32} {
+		out := make([]int, n)
+		err := Run(context.Background(), n, w, func(s Shard) error {
+			for i := s.Lo; i < s.Hi; i++ {
+				out[i] = i * i
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", w, i, v)
+			}
+		}
+	}
+}
+
+func TestRunLowestShardError(t *testing.T) {
+	wantErr := errors.New("shard 1 failed")
+	err := Run(nil, 100, 4, func(s Shard) error {
+		switch s.Worker {
+		case 1:
+			return wantErr
+		case 3:
+			return errors.New("shard 3 failed")
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want lowest-shard error %v", err, wantErr)
+	}
+}
+
+func TestRunSerialInline(t *testing.T) {
+	// With one worker fn must run on the calling goroutine: a panic
+	// propagates natively (not wrapped in *Panic).
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if _, wrapped := r.(*Panic); wrapped {
+			t.Fatal("serial panic was wrapped in *Panic")
+		}
+	}()
+	_ = Run(nil, 10, 1, func(s Shard) error { panic("boom") })
+}
+
+func TestRunWorkerPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		p, ok := r.(*Panic)
+		if !ok {
+			t.Fatalf("recovered %T, want *Panic", r)
+		}
+		// Lowest-shard panic wins deterministically.
+		if p.Value != "boom-0" {
+			t.Fatalf("panic value %v, want boom-0", p.Value)
+		}
+		if len(p.Stack) == 0 {
+			t.Fatal("no worker stack captured")
+		}
+	}()
+	_ = Run(nil, 8, 4, func(s Shard) error {
+		if s.Worker == 0 || s.Worker == 2 {
+			panic(fmt.Sprintf("boom-%d", s.Worker))
+		}
+		return nil
+	})
+	t.Fatal("did not panic")
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := Run(ctx, 100, 4, func(s Shard) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d shards ran under a pre-cancelled ctx", ran.Load())
+	}
+}
+
+func TestForEachAllIndices(t *testing.T) {
+	const n = 500
+	for _, w := range []int{1, 2, 7, 16} {
+		var out [n]atomic.Int32
+		idx, err := ForEach(context.Background(), n, w, func(i int) error {
+			out[i].Add(1)
+			return nil
+		})
+		if idx != -1 || err != nil {
+			t.Fatalf("workers=%d: (%d, %v)", w, idx, err)
+		}
+		for i := range out {
+			if got := out[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachLowestFailedIndex(t *testing.T) {
+	wantErr := errors.New("item failed")
+	for _, w := range []int{1, 4} {
+		idx, err := ForEach(nil, 50, w, func(i int) error {
+			if i == 7 || i == 23 {
+				return fmt.Errorf("i=%d: %w", i, wantErr)
+			}
+			return nil
+		})
+		if idx != 7 || !errors.Is(err, wantErr) {
+			t.Fatalf("workers=%d: (%d, %v), want lowest failed index 7", w, idx, err)
+		}
+	}
+}
+
+func TestForEachStopsDispatchAfterError(t *testing.T) {
+	// Serial semantics: nothing after the failing index runs.
+	var ran atomic.Int32
+	idx, err := ForEach(nil, 100, 1, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if idx != 3 || err == nil {
+		t.Fatalf("(%d, %v)", idx, err)
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("serial ForEach ran %d items after error at 3", ran.Load())
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	idx, err := ForEach(ctx, 1000, 4, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if idx < 0 || idx >= 1000 {
+		t.Fatalf("cancellation index %d out of range", idx)
+	}
+	if ran.Load() >= 1000 {
+		t.Fatal("cancellation did not stop dispatch")
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		p, ok := r.(*Panic)
+		if !ok {
+			t.Fatalf("recovered %T, want *Panic", r)
+		}
+		if len(p.Stack) == 0 {
+			t.Fatal("no worker stack captured")
+		}
+	}()
+	_, _ = ForEach(nil, 20, 4, func(i int) error {
+		if i == 5 {
+			panic("item boom")
+		}
+		return nil
+	})
+	t.Fatal("did not panic")
+}

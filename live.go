@@ -3,12 +3,14 @@ package repro
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/bench89"
 	"repro/internal/core"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/soc"
 )
 
@@ -40,6 +42,13 @@ type LiveOptions struct {
 	// interrupted experiment resumes each completed stage from its own
 	// file. Every/Resume apply to each stage unchanged.
 	Checkpoint *atpg.CheckpointConfig
+	// Workers bounds how many per-core ATPG jobs run concurrently, and is
+	// forwarded to the ATPG stages (unless ATPG.Workers is already set) so
+	// their fault simulation shards too. 0 (the default) resolves to
+	// runtime.NumCPU(); 1 forces the fully serial experiment. Results are
+	// bit-identical for every setting — per-core jobs are independent and
+	// merge back in core order.
+	Workers int
 }
 
 func (o LiveOptions) withDefaults() LiveOptions {
@@ -48,6 +57,9 @@ func (o LiveOptions) withDefaults() LiveOptions {
 	}
 	if o.ATPG.Obs == nil {
 		o.ATPG.Obs = o.Obs
+	}
+	if o.ATPG.Workers == 0 {
+		o.ATPG.Workers = o.Workers
 	}
 	if o.GateScale <= 0 || o.GateScale > 1 {
 		o.GateScale = 1
@@ -72,6 +84,12 @@ type LiveCore struct {
 type LiveResult struct {
 	Name  string
 	Cores []LiveCore
+	// CoreSeconds is the wall-clock ATPG time of each core, parallel to
+	// Cores. Timing is measurement noise, kept out of LiveCore so Cores
+	// stays directly comparable across runs with different worker counts.
+	CoreSeconds []float64
+	// Workers is the resolved per-core concurrency bound the run used.
+	Workers int
 	// TMono is the measured monolithic pattern count on the flattened SOC.
 	TMono        int
 	MonoCoverage float64
@@ -139,7 +157,8 @@ func liveSOC(ctx context.Context, name string, coreNames []string, opts LiveOpti
 			obs.F("soc", name),
 			obs.F("cores", len(coreNames)),
 			obs.F("gate_scale", opts.GateScale),
-			obs.F("seed", opts.Seed))
+			obs.F("seed", opts.Seed),
+			obs.F("workers", par.Workers(opts.Workers)))
 	}
 	res := &LiveResult{Name: name}
 
@@ -165,18 +184,37 @@ func liveSOC(ctx context.Context, name string, coreNames []string, opts LiveOpti
 	}
 	spanGen.End()
 
-	// Per-core ATPG: each core tested as a wrapped, stand-alone unit.
-	// Each per-core event carries the exact TDV-formula inputs (terminal
-	// and scan-cell counts plus the measured pattern count).
+	// Per-core ATPG: each core tested as a wrapped, stand-alone unit, with
+	// up to Workers cores in flight at once (dynamic dispatch, so one big
+	// core does not serialize the small ones behind it). Each job writes
+	// its LiveCore into an index-addressed slot and instruments a forked
+	// collector; the forks merge back into the parent registry serially,
+	// in core order, so manifests are deterministic. Each per-core event
+	// carries the exact TDV-formula inputs (terminal and scan-cell counts
+	// plus the measured pattern count).
 	spanCores := col.StartSpan("live.percore")
-	for i, c := range circuits {
-		spanCore := col.StartSpan("live.core")
-		r, err := atpg.GenerateContext(ctx, c, stageOpts(fmt.Sprintf("core%d", i+1)))
+	workers := par.Workers(opts.Workers)
+	res.Workers = workers
+	col.Gauge("live.workers").Set(int64(workers))
+	type coreOut struct {
+		lc  LiveCore
+		reg *obs.Registry
+		sec float64
+	}
+	outs := make([]coreOut, len(circuits))
+	failIdx, ferr := par.ForEach(ctx, len(circuits), workers, func(i int) error {
+		c := circuits[i]
+		coreCol, coreReg := col.Fork()
+		outs[i].reg = coreReg
+		spanCore := coreCol.StartSpan("live.core")
+		so := stageOpts(fmt.Sprintf("core%d", i+1))
+		so.Obs = coreCol
+		start := time.Now()
+		r, err := atpg.GenerateContext(ctx, c, so)
+		outs[i].sec = time.Since(start).Seconds()
+		spanCore.End()
 		if err != nil {
-			spanCore.End()
-			spanCores.End()
-			spanAll.End()
-			return res, fmt.Errorf("repro: live %s core %d (%s): %w", name, i+1, coreNames[i], err)
+			return fmt.Errorf("repro: live %s core %d (%s): %w", name, i+1, coreNames[i], err)
 		}
 		st := c.ComputeStats()
 		lc := LiveCore{
@@ -187,21 +225,45 @@ func liveSOC(ctx context.Context, name string, coreNames []string, opts LiveOpti
 			Patterns:  r.PatternCount(),
 			Coverage:  r.Coverage,
 		}
-		res.Cores = append(res.Cores, lc)
-		if lc.Patterns > res.MaxCoreT {
-			res.MaxCoreT = lc.Patterns
-		}
-		if col.Tracing() {
-			col.Emit("live.core.result",
+		outs[i].lc = lc
+		if coreCol.Tracing() {
+			coreCol.Emit("live.core.result",
 				obs.F("soc", name),
 				obs.F("core", lc.Name),
 				obs.F("inputs", lc.Inputs),
 				obs.F("outputs", lc.Outputs),
 				obs.F("scan_cells", lc.ScanCells),
 				obs.F("patterns", lc.Patterns),
-				obs.F("coverage", lc.Coverage))
+				obs.F("coverage", lc.Coverage),
+				obs.F("seconds", outs[i].sec))
 		}
-		spanCore.End()
+		return nil
+	})
+	// Fold the per-core registries into the parent, in core order.
+	for i := range outs {
+		col.Metrics().Merge(outs[i].reg)
+	}
+	if ferr != nil {
+		// Dispatch is in index order, so every core below the lowest
+		// failed index completed; keep that prefix — exactly what the
+		// serial loop committed before its first error.
+		for i := 0; i < failIdx && i < len(outs); i++ {
+			res.Cores = append(res.Cores, outs[i].lc)
+			res.CoreSeconds = append(res.CoreSeconds, outs[i].sec)
+			if outs[i].lc.Patterns > res.MaxCoreT {
+				res.MaxCoreT = outs[i].lc.Patterns
+			}
+		}
+		spanCores.End()
+		spanAll.End()
+		return res, ferr
+	}
+	for i := range outs {
+		res.Cores = append(res.Cores, outs[i].lc)
+		res.CoreSeconds = append(res.CoreSeconds, outs[i].sec)
+		if outs[i].lc.Patterns > res.MaxCoreT {
+			res.MaxCoreT = outs[i].lc.Patterns
+		}
 	}
 	spanCores.End()
 

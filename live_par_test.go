@@ -1,0 +1,63 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestLiveSOCWorkersBitIdentical is the top of the determinism stack: the
+// whole live SOC experiment — per-core ATPG, the flattened monolithic run,
+// the TDV model, and the rendered tables — must come out identical whether
+// the cores run serially or concurrently.
+func TestLiveSOCWorkersBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full live runs are slow; skipped in -short")
+	}
+	run := func(workers int) *LiveResult {
+		t.Helper()
+		r, err := LiveSOC1(LiveOptions{GateScale: 0.35, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r
+	}
+	want := run(1)
+	for _, w := range []int{2, 4} {
+		got := run(w)
+		if !reflect.DeepEqual(got.Cores, want.Cores) {
+			t.Fatalf("workers=%d: per-core results differ:\n  got  %+v\n  want %+v", w, got.Cores, want.Cores)
+		}
+		if got.TMono != want.TMono || got.MonoCoverage != want.MonoCoverage || got.MaxCoreT != want.MaxCoreT {
+			t.Fatalf("workers=%d: monolithic measurements differ: (%d, %v, %d) vs (%d, %v, %d)",
+				w, got.TMono, got.MonoCoverage, got.MaxCoreT, want.TMono, want.MonoCoverage, want.MaxCoreT)
+		}
+		if !reflect.DeepEqual(got.Report, want.Report) {
+			t.Fatalf("workers=%d: TDV reports differ:\n  got  %+v\n  want %+v", w, got.Report, want.Report)
+		}
+		if gs, ws := RenderLive(got), RenderLive(want); gs != ws {
+			t.Fatalf("workers=%d: rendered tables differ:\n--- got ---\n%s\n--- want ---\n%s", w, gs, ws)
+		}
+		if got.Workers != w {
+			t.Errorf("Workers field = %d, want %d", got.Workers, w)
+		}
+	}
+}
+
+// TestTable4WorkersBitIdentical: the ITC'02 sweep computed with a worker
+// pool must render the exact table the serial sweep renders.
+func TestTable4WorkersBitIdentical(t *testing.T) {
+	serial, err := Table4Workers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table4Workers(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, serial) {
+		t.Fatal("Table4 rows differ between workers=1 and workers=4")
+	}
+	if RenderTable4Rows(par) != RenderTable4Rows(serial) {
+		t.Fatal("rendered Table 4 differs between workers=1 and workers=4")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/itc02"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/soc"
 )
@@ -94,15 +95,28 @@ type Table4Row struct {
 }
 
 // Table4 computes the full Table 4: p34392 from the embedded Table 3 data,
-// the other nine SOCs from calibrated synthesized profiles.
+// the other nine SOCs from calibrated synthesized profiles. The ten SOC
+// syntheses run concurrently, bounded by runtime.NumCPU().
 func Table4() ([]Table4Row, error) {
-	var rows []Table4Row
-	for _, pub := range itc02.PublishedTable4() {
-		s, err := itc02.SOCByName(pub.Name)
+	return Table4Workers(0)
+}
+
+// Table4Workers is Table4 with an explicit worker bound: 0 resolves to
+// runtime.NumCPU(), 1 computes serially. Each SOC synthesis is independent
+// and writes its own index-addressed row, so the table is identical for
+// every worker count.
+func Table4Workers(workers int) ([]Table4Row, error) {
+	pubs := itc02.PublishedTable4()
+	rows := make([]Table4Row, len(pubs))
+	if _, err := par.ForEach(nil, len(pubs), workers, func(i int) error {
+		s, err := itc02.SOCByName(pubs[i].Name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Table4Row{Name: pub.Name, Published: pub, Computed: s.Analyze()})
+		rows[i] = Table4Row{Name: pubs[i].Name, Published: pubs[i], Computed: s.Analyze()}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -113,6 +127,13 @@ func RenderTable4() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return RenderTable4Rows(rows), nil
+}
+
+// RenderTable4Rows renders already-computed Table 4 rows, letting callers
+// reuse one Table4Workers computation for both the table and their own
+// analysis.
+func RenderTable4Rows(rows []Table4Row) string {
 	t := report.New("Table 4: test data volume comparison for ITC'02 SOC benchmarks",
 		"SOC", "Cores", "NormStdev", "TDV_mono_opt", "TDV_penalty", "TDV_benefit", "TDV_modular", "Change")
 	var penPct, benPct, modPct float64
@@ -130,7 +151,7 @@ func RenderTable4() (string, error) {
 	}
 	n := float64(len(rows))
 	t.AddFooter("Average", "", "", "", report.Pct(penPct/n), report.Pct(-benPct/n), "", report.Pct(modPct/n))
-	return t.String(), nil
+	return t.String()
 }
 
 // RenderFigure1 reproduces the worked example of Figure 1: three cones,
