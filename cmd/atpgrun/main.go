@@ -7,6 +7,7 @@
 //	atpgrun -f core.bench [-backtrack 100] [-random 64] [-compact] [-seed 1] [-v]
 //	atpgrun -standin s953          # run on a generated ISCAS'89 stand-in
 //	atpgrun -f core.bench -cones   # per-cone decomposition (paper Sec. 3)
+//	atpgrun -f core.bench -lint    # design-rule preflight; refuse on errors
 //
 // Robustness:
 //
@@ -47,6 +48,7 @@ import (
 	"repro/internal/bench89"
 	"repro/internal/cli"
 	"repro/internal/cones"
+	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -70,6 +72,7 @@ func run() int {
 		seed      = flag.Int64("seed", 1, "seed for the random phase and X-fill")
 		verbose   = flag.Bool("v", false, "list aborted and redundant faults")
 		coneMode  = flag.Bool("cones", false, "per-cone analysis instead of whole-circuit ATPG")
+		lintPre   = flag.Bool("lint", false, "preflight the netlist through the design-rule linter; refuse to run on errors")
 		jsonOut   = flag.Bool("json", false, "write the run manifest as JSON to stdout instead of the human summary")
 		workers   = flag.Int("workers", 0, "worker pool bound for parallel fault simulation (0 = NumCPU, 1 = serial; results are identical for every value)")
 	)
@@ -102,6 +105,7 @@ func run() int {
 	man.SetOption("random", *random)
 	man.SetOption("compact", *compact)
 	man.SetOption("cones", *coneMode)
+	man.SetOption("lint", *lintPre)
 	man.SetOption("workers", par.Workers(*workers))
 	if rf.Timeout > 0 {
 		man.SetOption("timeout", rf.Timeout.String())
@@ -125,6 +129,19 @@ func run() int {
 
 	ctx, interrupted, stop := rf.Context(context.Background())
 	defer stop()
+
+	// Source-level preflight: for a netlist file, lint before parsing so a
+	// broken input is reported as the full set of findings rather than the
+	// parser's first error.
+	if *lintPre && *file != "" && *file != "-" {
+		lr, lerr := lint.CheckBenchFile(*file, lint.DefaultOptions())
+		if lerr != nil {
+			return fail(cli.ExitRuntime, lerr)
+		}
+		if code := lintGate(man, lr); code != 0 {
+			return fail(code, fmt.Errorf("%s failed lint with %d error(s); refusing to run", *file, lr.Count(lint.Error)))
+		}
+	}
 
 	var (
 		c   *netlist.Circuit
@@ -152,6 +169,15 @@ func run() int {
 	}
 	if err != nil {
 		return fail(cli.ExitRuntime, err)
+	}
+
+	// Circuit-level preflight for inputs with no backing file (stand-ins
+	// and stdin): the structural rules still apply to the built netlist.
+	if *lintPre && (*standin != "" || *file == "-") {
+		lr := lint.CheckCircuit(c, lint.DefaultOptions())
+		if code := lintGate(man, lr); code != 0 {
+			return fail(code, fmt.Errorf("netlist failed lint with %d error(s); refusing to run", lr.Count(lint.Error)))
+		}
 	}
 
 	if !*jsonOut {
@@ -234,6 +260,19 @@ func run() int {
 		}
 	}
 	finish(&ob, man, reg, *jsonOut)
+	return 0
+}
+
+// lintGate prints the preflight report to stderr, records the counts on
+// the manifest, and returns the exit code lint findings demand: 0 to
+// proceed (warnings and infos never block), ExitRuntime on errors.
+func lintGate(man *obs.Manifest, lr *lint.Report) int {
+	cli.Check(prog, lr.WriteText(os.Stderr))
+	man.SetResult("lint_errors", lr.Count(lint.Error))
+	man.SetResult("lint_warnings", lr.Count(lint.Warning))
+	if lr.HasErrors() {
+		return cli.ExitRuntime
+	}
 	return 0
 }
 

@@ -195,3 +195,51 @@ func TestWorkersTimeoutExitsIncomplete(t *testing.T) {
 		t.Fatalf("checkpoint missing after parallel timeout: %v", err)
 	}
 }
+
+// TestLintPreflight covers the -lint gate: a netlist with an error-level
+// DRC finding must be refused before any ATPG runs, a clean one must
+// proceed, and the manifest must carry the lint counts.
+func TestLintPreflight(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin,
+		"-f", "../../internal/netlist/testdata/defects/cycle.bench", "-lint").CombinedOutput()
+	if code := exitCode(t, err); code != cli.ExitRuntime {
+		t.Fatalf("defective netlist: exit %d, want %d\n%s", code, cli.ExitRuntime, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "NL001") || !strings.Contains(s, "refusing to run") {
+		t.Errorf("preflight refusal not reported:\n%s", s)
+	}
+	if strings.Contains(s, "patterns:") {
+		t.Errorf("ATPG ran despite lint errors:\n%s", s)
+	}
+
+	jout, err := exec.Command(bin,
+		"-f", "../../internal/netlist/testdata/c17.bench", "-lint", "-json").Output()
+	if err != nil {
+		t.Fatalf("clean netlist rejected: %v", err)
+	}
+	var man struct {
+		Results map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(jout, &man); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := man.Results["lint_errors"].(float64); !ok || got != 0 {
+		t.Errorf("manifest results[lint_errors] = %v, want 0", man.Results["lint_errors"])
+	}
+	if _, ok := man.Results["lint_warnings"]; !ok {
+		t.Error("manifest missing lint_warnings")
+	}
+}
+
+// TestLintPreflightStandin checks the circuit-level path: generated
+// stand-ins have no backing file but still go through the linter (their
+// generator-artifact warnings must not block the run).
+func TestLintPreflightStandin(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-standin", "s713", "-lint").CombinedOutput()
+	if code := exitCode(t, err); code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+}

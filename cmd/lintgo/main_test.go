@@ -1,0 +1,213 @@
+package main
+
+import (
+	"errors"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// check runs checkSource over one synthetic file and returns the rule IDs
+// found, in report order.
+func check(t *testing.T, path, src string) []string {
+	t.Helper()
+	fnd, err := checkSource(token.NewFileSet(), path, []byte(src))
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	ids := make([]string, len(fnd))
+	for i, f := range fnd {
+		ids[i] = f.rule
+	}
+	return ids
+}
+
+func TestGO001GlobalRand(t *testing.T) {
+	src := `package x
+import "math/rand"
+func f() int { return rand.Intn(10) }
+`
+	if got := check(t, "a.go", src); len(got) != 1 || got[0] != "GO001" {
+		t.Errorf("findings = %v, want [GO001]", got)
+	}
+	// The sanctioned form — explicit source — is clean.
+	clean := `package x
+import "math/rand"
+func f() int { return rand.New(rand.NewSource(1)).Intn(10) }
+`
+	if got := check(t, "a.go", clean); len(got) != 0 {
+		t.Errorf("seeded source flagged: %v", got)
+	}
+}
+
+func TestGO001AliasAndV2(t *testing.T) {
+	src := `package x
+import mrand "math/rand/v2"
+func f() int { return mrand.N(10) }
+`
+	if got := check(t, "a.go", src); len(got) != 1 || got[0] != "GO001" {
+		t.Errorf("aliased v2 findings = %v, want [GO001]", got)
+	}
+	dot := `package x
+import . "math/rand"
+`
+	if got := check(t, "a.go", dot); len(got) != 1 || got[0] != "GO001" {
+		t.Errorf("dot import findings = %v, want [GO001]", got)
+	}
+}
+
+func TestGO002WallClock(t *testing.T) {
+	src := `package x
+import "time"
+var a = time.Now()
+func f(t0 time.Time) float64 { return time.Since(t0).Seconds() }
+`
+	if got := check(t, "internal/atpg/a.go", src); len(got) != 2 {
+		t.Errorf("findings = %v, want two GO002", got)
+	}
+	// The same source inside the timing-owning packages is exempt.
+	for _, p := range []string{"internal/obs/a.go", "internal/runctl/sub/a.go"} {
+		if got := check(t, p, src); len(got) != 0 {
+			t.Errorf("%s: exempt package flagged: %v", p, got)
+		}
+	}
+}
+
+func TestGO002LocalVariableNotConfused(t *testing.T) {
+	// A local identifier named "time" is not the package.
+	src := `package x
+type clock struct{}
+func (clock) Now() int { return 0 }
+func f() int {
+	time := clock{}
+	return time.Now()
+}
+`
+	if got := check(t, "a.go", src); len(got) != 0 {
+		t.Errorf("local shadow flagged: %v", got)
+	}
+}
+
+func TestGO003BareGo(t *testing.T) {
+	src := `package x
+func f() { go func() {}() }
+`
+	if got := check(t, "internal/soc/a.go", src); len(got) != 1 || got[0] != "GO003" {
+		t.Errorf("findings = %v, want [GO003]", got)
+	}
+	if got := check(t, "internal/par/a.go", src); len(got) != 0 {
+		t.Errorf("internal/par flagged: %v", got)
+	}
+}
+
+func TestAllowDirective(t *testing.T) {
+	above := `package x
+import "time"
+// lintgo:allow GO002 deadline contract
+var a = time.Now()
+`
+	if got := check(t, "a.go", above); len(got) != 0 {
+		t.Errorf("line-above directive ignored: %v", got)
+	}
+	inline := `package x
+import "time"
+var a = time.Now() // lintgo:allow GO002
+`
+	if got := check(t, "a.go", inline); len(got) != 0 {
+		t.Errorf("same-line directive ignored: %v", got)
+	}
+	// A directive for a different rule must not suppress.
+	wrong := `package x
+import "time"
+// lintgo:allow GO001
+var a = time.Now()
+`
+	if got := check(t, "a.go", wrong); len(got) != 1 {
+		t.Errorf("wrong-rule directive suppressed: %v", got)
+	}
+}
+
+func TestGoFilesSkipsTests(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a.go", "a_test.go", filepath.Join("testdata", "b.go")} {
+		p := filepath.Join(dir, name)
+		os.MkdirAll(filepath.Dir(p), 0o755)
+		if err := os.WriteFile(p, []byte("package x\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := goFiles([]string{dir}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || filepath.Base(got[0]) != "a.go" {
+		t.Errorf("default walk = %v, want just a.go", got)
+	}
+	got, err = goFiles([]string{dir}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("-tests walk = %v, want a.go and a_test.go", got)
+	}
+}
+
+// buildBinary compiles lintgo for the exec-level tests.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("exec test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "lintgo")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+// TestRepoIsLintClean is the property the CI leg enforces: the repository
+// itself passes its own determinism lint.
+func TestRepoIsLintClean(t *testing.T) {
+	bin := buildBinary(t)
+	cmd := exec.Command(bin, ".")
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(t, err); code != 0 {
+		t.Fatalf("repo has determinism findings (exit %d):\n%s", code, out)
+	}
+}
+
+// TestExecFindingsExitOne seeds a violation and checks the output line and
+// exit code end to end.
+func TestExecFindingsExitOne(t *testing.T) {
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	src := "package x\n\nimport \"math/rand\"\n\nfunc f() int { return rand.Intn(3) }\n"
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, dir).CombinedOutput()
+	if code := exitCode(t, err); code != exitFindings {
+		t.Fatalf("exit %d, want %d\n%s", code, exitFindings, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "bad.go:5: GO001") || !strings.Contains(s, "1 finding(s)") {
+		t.Errorf("unexpected output:\n%s", s)
+	}
+}

@@ -1,0 +1,191 @@
+// soclint is the static verification front end of the repository: it runs
+// the internal/lint design-rule checks over ISCAS'89-style .bench netlists
+// and ITC'02-style .soc profiles before any ATPG or TDV computation spends
+// time on them.
+//
+// Usage:
+//
+//	soclint [flags] path...
+//
+// Each path is a .bench file, a .soc file, or a directory (walked
+// recursively for both extensions). Diagnostics print one per line in
+// "file:line: severity: RULE: message" form, or as structured "lint.diag"
+// JSONL events with -json. The exit code is the contract scripts rely on:
+// 0 when no error-severity findings exist (warnings and infos are
+// reported but do not fail the run), 1 when errors were found (or
+// warnings, under -warn-as-error), 2 for usage problems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/cli"
+	"repro/internal/lint"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+)
+
+const prog = "soclint"
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fset := flag.NewFlagSet(prog, flag.ExitOnError)
+	jsonOut := fset.Bool("json", false, "emit diagnostics as JSONL lint.diag events on stdout")
+	quiet := fset.Bool("q", false, "suppress info-severity diagnostics")
+	warnAsError := fset.Bool("warn-as-error", false, "exit 1 on warnings as well as errors")
+	maxFanout := fset.Int("max-fanout", lint.DefaultOptions().MaxFanout, "NL010 fanout threshold (0 disables)")
+	scoapLimit := fset.Int("scoap-limit", 0, "enable NL011 for nets whose SCOAP difficulty reaches `n` (0 disables)")
+	scoapTop := fset.Int("scoap", 0, "print the `k` hardest nets of each netlist by SCOAP difficulty")
+	rules := fset.Bool("rules", false, "print the rule catalog and exit")
+	fset.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] path...\n", prog)
+		fmt.Fprintf(os.Stderr, "lints .bench netlists and .soc profiles; directories are walked recursively\n")
+		fset.PrintDefaults()
+	}
+	fset.Parse(os.Args[1:])
+
+	if *rules {
+		printRules()
+		return 0
+	}
+	if fset.NArg() == 0 {
+		fset.Usage()
+		return cli.ExitUsage
+	}
+	files, err := expandPaths(fset.Args())
+	if err != nil {
+		cli.Errorf(prog, "%v", err)
+		return cli.ExitRuntime
+	}
+	if len(files) == 0 {
+		cli.Errorf(prog, "no .bench or .soc files found")
+		return cli.ExitUsage
+	}
+
+	opt := lint.Options{MaxFanout: *maxFanout, SCOAPLimit: *scoapLimit}
+	report := &lint.Report{}
+	for _, f := range files {
+		var r *lint.Report
+		var err error
+		switch filepath.Ext(f) {
+		case ".bench":
+			r, err = lint.CheckBenchFile(f, opt)
+		case ".soc":
+			r, err = lint.CheckSOCFile(f)
+		}
+		if err != nil {
+			cli.Errorf(prog, "%v", err)
+			return cli.ExitRuntime
+		}
+		report.Merge(r)
+		if *scoapTop > 0 && filepath.Ext(f) == ".bench" && !r.HasErrors() {
+			printScoapReport(f, *scoapTop)
+		}
+	}
+	report.Sort()
+	if *quiet {
+		kept := report.Diags[:0]
+		for _, d := range report.Diags {
+			if d.Sev != lint.Info {
+				kept = append(kept, d)
+			}
+		}
+		report.Diags = kept
+	}
+
+	if *jsonOut {
+		sink := obs.NewJSONLSink(os.Stdout)
+		report.EmitTo(sink)
+		if err := sink.Err(); err != nil {
+			cli.Errorf(prog, "writing JSONL: %v", err)
+			return cli.ExitRuntime
+		}
+	} else if err := report.WriteText(os.Stdout); err != nil {
+		cli.Errorf(prog, "writing report: %v", err)
+		return cli.ExitRuntime
+	}
+
+	if report.HasErrors() || (*warnAsError && report.Count(lint.Warning) > 0) {
+		return cli.ExitRuntime
+	}
+	return 0
+}
+
+// expandPaths resolves the argument list: files are taken as given (their
+// extension must be lintable), directories are walked recursively for
+// .bench and .soc entries. The result is sorted and de-duplicated so runs
+// are deterministic regardless of argument order.
+func expandPaths(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var files []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			files = append(files, p)
+		}
+	}
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			switch filepath.Ext(arg) {
+			case ".bench", ".soc":
+				add(arg)
+			default:
+				return nil, fmt.Errorf("%s: not a .bench or .soc file", arg)
+			}
+			continue
+		}
+		err = filepath.WalkDir(arg, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				switch filepath.Ext(p) {
+				case ".bench", ".soc":
+					add(p)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// printScoapReport prints the k hardest nets of one netlist.
+func printScoapReport(path string, k int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	c, err := netlist.ParseBenchString(path, string(data))
+	if err != nil {
+		return
+	}
+	rows := lint.ComputeSCOAP(c).Hardest(k)
+	fmt.Printf("%s: %d hardest nets by SCOAP (CC0/CC1/CO, worst stuck-at difficulty):\n", path, len(rows))
+	for _, r := range rows {
+		fmt.Printf("  %-20s %6s %6s %6s  worst %s\n", r.Name, r.CC0, r.CC1, r.CO, r.Worst)
+	}
+}
+
+func printRules() {
+	fmt.Println("rule    severity  description")
+	for _, r := range lint.Catalog {
+		fmt.Printf("%-7s %-9s %s\n", r.ID, r.Sev, r.Doc)
+	}
+}

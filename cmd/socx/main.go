@@ -7,6 +7,7 @@
 // Usage:
 //
 //	socx                     # Tables 1 and 2 from the published profiles
+//	socx -lint               # design-rule preflight of the SOC profiles
 //	socx -live -soc SOC1     # live experiment on SOC1
 //	socx -live -soc SOC2 -scale 0.4
 //
@@ -43,6 +44,7 @@ import (
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/lint"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
@@ -56,6 +58,7 @@ func main() { os.Exit(run()) }
 func run() int {
 	var (
 		live    = flag.Bool("live", false, "run the live ATPG experiment instead of the published profiles")
+		lintPre = flag.Bool("lint", false, "preflight the SOC profiles through the design-rule linter; refuse to run on errors")
 		which   = flag.String("soc", "both", "SOC1, SOC2 or both")
 		scale   = flag.Float64("scale", 1.0, "gate-count scale for the live stand-ins, in (0,1]")
 		seed    = flag.Int64("seed", 1, "interconnect seed for the live flattening")
@@ -87,6 +90,7 @@ func run() int {
 	}
 	man := obs.NewManifest(prog, *seed)
 	man.SetOption("live", *live)
+	man.SetOption("lint", *lintPre)
 	man.SetOption("soc", *which)
 	man.SetOption("scale", *scale)
 	man.SetOption("workers", par.Workers(*workers))
@@ -96,6 +100,29 @@ func run() int {
 	if rf.CheckpointPath != "" {
 		man.SetOption("checkpoint", rf.CheckpointPath)
 		man.SetOption("resume", rf.Resume)
+	}
+
+	// Preflight: both modes consume the same SOC profiles, so the linter
+	// gates them identically. Warnings and infos report but never block.
+	if *lintPre {
+		lr := &lint.Report{}
+		if *which == "SOC1" || *which == "both" {
+			lr.Merge(lint.CheckSOC(repro.SOC1()))
+		}
+		if *which == "SOC2" || *which == "both" {
+			lr.Merge(lint.CheckSOC(repro.SOC2()))
+		}
+		lr.Sort()
+		cli.Check(prog, lr.WriteText(os.Stderr))
+		man.SetResult("lint_errors", lr.Count(lint.Error))
+		man.SetResult("lint_warnings", lr.Count(lint.Warning))
+		if lr.HasErrors() {
+			err := fmt.Errorf("SOC profiles failed lint with %d error(s); refusing to run", lr.Count(lint.Error))
+			cli.Errorf(prog, "%v", err)
+			man.SetResult("error", err.Error())
+			finish(&ob, man, reg, *jsonOut)
+			return cli.ExitRuntime
+		}
 	}
 
 	if !*live {

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+// buildBinary compiles socx for the exec-level preflight tests.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("exec test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "socx")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+// TestLintPreflightPasses: the committed SOC1/SOC2 profiles must clear
+// the linter, so -lint changes nothing about a default run except the
+// manifest's lint counters.
+func TestLintPreflightPasses(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-lint", "-json").Output()
+	if code := exitCode(t, err); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	// Profile mode prints the rendered tables before the manifest; the
+	// manifest is the trailing JSON object.
+	s := string(out)
+	start := strings.Index(s, "\n{")
+	if start < 0 {
+		t.Fatalf("no manifest in output:\n%s", s)
+	}
+	var man struct {
+		Options map[string]any `json:"options"`
+		Results map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(s[start+1:]), &man); err != nil {
+		t.Fatalf("manifest not JSON: %v", err)
+	}
+	if got, ok := man.Options["lint"].(bool); !ok || !got {
+		t.Errorf("manifest options[lint] = %v, want true", man.Options["lint"])
+	}
+	if got, ok := man.Results["lint_errors"].(float64); !ok || got != 0 {
+		t.Errorf("manifest results[lint_errors] = %v, want 0", man.Results["lint_errors"])
+	}
+}
+
+// TestUsageBadSOC pins the existing exit-2 contract alongside the new flag.
+func TestUsageBadSOC(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-soc", "SOC9", "-lint").CombinedOutput()
+	if code := exitCode(t, err); code != cli.ExitUsage {
+		t.Fatalf("exit %d, want %d\n%s", code, cli.ExitUsage, out)
+	}
+	if !strings.Contains(string(out), "SOC1") {
+		t.Errorf("usage message not surfaced:\n%s", out)
+	}
+}

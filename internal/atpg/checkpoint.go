@@ -23,7 +23,7 @@ const FPFault = "atpg.fault"
 // the resumed state changes; a mismatch rejects the file instead of
 // resuming into silent corruption.
 const (
-	ckptVersion = 1
+	ckptVersion = 2
 	ckptTool    = "atpg"
 )
 
@@ -60,6 +60,8 @@ type ckptOutcome struct {
 	Pin    int   `json:"p"`
 	Stuck  uint8 `json:"v"`
 	Status uint8 `json:"s"`
+	// Backtracks records the search effort behind the verdict (v2+).
+	Backtracks int `json:"b"`
 }
 
 // ckptState is the versioned on-disk checkpoint. Cubes hold every kept
@@ -110,10 +112,11 @@ func snapshotCkpt(circuit, hash string, randDraws int64, complete bool,
 	}
 	for i, o := range outcomes {
 		st.Outcomes[i] = ckptOutcome{
-			Gate:   int(o.Fault.Gate),
-			Pin:    o.Fault.Pin,
-			Stuck:  uint8(o.Fault.Stuck),
-			Status: uint8(o.Status),
+			Gate:       int(o.Fault.Gate),
+			Pin:        o.Fault.Pin,
+			Stuck:      uint8(o.Fault.Stuck),
+			Status:     uint8(o.Status),
+			Backtracks: o.Backtracks,
 		}
 	}
 	return st
@@ -172,7 +175,7 @@ func (st *ckptState) restore(path string, width int) (cubes []logic.Cube, outcom
 		if s > Aborted {
 			return nil, nil, nil, runctl.ValidateError(path, "outcome %d has unknown status %d", i, o.Status)
 		}
-		outcomes[i] = Outcome{Fault: f, Status: s}
+		outcomes[i] = Outcome{Fault: f, Status: s, Backtracks: o.Backtracks}
 		if s == Redundant || s == Aborted {
 			failed[f] = s
 		}

@@ -91,6 +91,13 @@ func DefaultOptions() Options {
 type Outcome struct {
 	Fault  faults.Fault
 	Status Status
+	// Backtracks is the PODEM search effort spent on the verdict — the
+	// backtrack count of the deciding attempt. It grades detections by
+	// difficulty (the SCOAP cross-check of internal/lint consumes this)
+	// and shows how close an Aborted fault came to its limit. Secondary
+	// detections from dynamic compaction report the effort of the
+	// extension attempt that found them.
+	Backtracks int
 }
 
 // Result is the output of test generation.
@@ -458,10 +465,10 @@ func GenerateForFaultsContext(ctx context.Context, c *netlist.Circuit, flist []f
 				}
 				cubes = append(cubes, cube)
 				engine.Apply([]logic.Cube{cube})
-				res.Outcomes = append(res.Outcomes, Outcome{*target, Detected})
+				res.Outcomes = append(res.Outcomes, Outcome{*target, Detected, pd.backtracks})
 			case Redundant, Aborted:
 				failed[*target] = status
-				res.Outcomes = append(res.Outcomes, Outcome{*target, status})
+				res.Outcomes = append(res.Outcomes, Outcome{*target, status, pd.backtracks})
 			}
 			haveFault = false
 			sinceCkpt++
@@ -529,10 +536,10 @@ func GenerateForFaultsContext(ctx context.Context, c *netlist.Circuit, flist []f
 				delete(failed, f)
 				cubes = append(cubes, cube)
 				engine.Apply([]logic.Cube{cube})
-				res.Outcomes = append(res.Outcomes, Outcome{f, Detected})
+				res.Outcomes = append(res.Outcomes, Outcome{f, Detected, retry.backtracks})
 			case Redundant:
 				failed[f] = Redundant
-				res.Outcomes = append(res.Outcomes, Outcome{f, Redundant})
+				res.Outcomes = append(res.Outcomes, Outcome{f, Redundant, retry.backtracks})
 			case Aborted:
 				// Stays aborted; a later pass may escalate again.
 			}
@@ -678,7 +685,7 @@ func extendCube(c *netlist.Circuit, pd *podem, engine *faultsim.Engine,
 				obs.F("status", Detected.String()),
 				obs.F("secondary", true))
 		}
-		res.Outcomes = append(res.Outcomes, Outcome{g, Detected})
+		res.Outcomes = append(res.Outcomes, Outcome{g, Detected, pd.backtracks})
 	}
 	return cube
 }

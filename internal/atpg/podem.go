@@ -129,6 +129,7 @@ func (p *podem) runWithBase(f faults.Fault, base logic.Cube) (logic.Cube, Status
 	p.backtracks = 0
 	p.degraded = false
 	if p.budget > 0 {
+		// lintgo:allow GO002 FaultBudget is a wall-clock deadline by contract.
 		p.deadline = time.Now().Add(p.budget)
 	}
 
@@ -188,6 +189,7 @@ func (p *podem) overLimit() bool {
 	if p.backtracks > p.limit {
 		return true
 	}
+	// lintgo:allow GO002 FaultBudget is a wall-clock deadline by contract.
 	if p.budget > 0 && time.Now().After(p.deadline) {
 		p.degraded = true
 		return true

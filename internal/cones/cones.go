@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/atpg"
+	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 )
@@ -112,6 +113,13 @@ type Profile struct {
 	Size     int    // gates in the cone
 	Patterns int    // ATPG pattern count for the isolated cone
 	Coverage float64
+	// SCOAPMax and SCOAPMean summarize the static testability of the
+	// cone's gates — the worst-case stuck-at difficulty per net from
+	// internal/lint's SCOAP pass over the whole circuit. A cone whose
+	// SCOAPMax dwarfs its peers' predicts the hard tail of the per-cone
+	// pattern-count distribution before any ATPG runs.
+	SCOAPMax  lint.ScoapV
+	SCOAPMean float64
 }
 
 // Analysis is the per-cone decomposition of one circuit.
@@ -153,6 +161,7 @@ func AnalyzeContext(ctx context.Context, c *netlist.Circuit, opts atpg.Options) 
 	hPatterns := col.Histogram("cones.patterns", obs.ExpBounds(1, 2, 13)...)
 
 	cones := c.AllCones()
+	scoap := lint.ComputeSCOAP(c)
 	a := &Analysis{Circuit: c.Name}
 	for i := range cones {
 		cone := &cones[i]
@@ -171,6 +180,7 @@ func AnalyzeContext(ctx context.Context, c *netlist.Circuit, opts atpg.Options) 
 			Patterns: res.PatternCount(),
 			Coverage: res.Coverage,
 		}
+		p.SCOAPMax, p.SCOAPMean = coneSCOAP(scoap, cone)
 		a.Profiles = append(a.Profiles, p)
 		hWidth.ObserveInt(p.Width)
 		hSize.ObserveInt(p.Size)
@@ -182,7 +192,9 @@ func AnalyzeContext(ctx context.Context, c *netlist.Circuit, opts atpg.Options) 
 				obs.F("width", p.Width),
 				obs.F("size", p.Size),
 				obs.F("patterns", p.Patterns),
-				obs.F("coverage", p.Coverage))
+				obs.F("coverage", p.Coverage),
+				obs.F("scoap_max", p.SCOAPMax.String()),
+				obs.F("scoap_mean", p.SCOAPMean))
 		}
 	}
 	for i := range cones {
@@ -205,6 +217,35 @@ func AnalyzeContext(ctx context.Context, c *netlist.Circuit, opts atpg.Options) 
 	}
 	span.End()
 	return a, nil
+}
+
+// coneSCOAP aggregates the whole-circuit SCOAP measures over a cone's
+// gates: the maximum and mean worst-case stuck-at difficulty. Saturated
+// nets (unobservable or uncontrollable in the full circuit) keep their
+// sentinel in the max but are excluded from the mean, so one dangling net
+// cannot drown the statistic.
+func coneSCOAP(s *lint.SCOAP, cn *netlist.Cone) (lint.ScoapV, float64) {
+	var worst lint.ScoapV
+	var sum float64
+	n := 0
+	for _, id := range cn.Gates {
+		d0, d1 := s.Difficulty(id, 0), s.Difficulty(id, 1)
+		w := d0
+		if d1 > w {
+			w = d1
+		}
+		if w > worst {
+			worst = w
+		}
+		if w < lint.ScoapInf {
+			sum += float64(w)
+			n++
+		}
+	}
+	if n == 0 {
+		return worst, 0
+	}
+	return worst, sum / float64(n)
 }
 
 // PatternCounts returns the per-cone pattern counts in profile order.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/atpg"
 	"repro/internal/bench89"
+	"repro/internal/lint"
 	"repro/internal/netlist"
 )
 
@@ -100,6 +101,14 @@ func TestAnalyzeC17(t *testing.T) {
 		}
 		if p.Width != 4 {
 			t.Errorf("cone %s width = %d, want 4", p.Apex, p.Width)
+		}
+		// Every c17 net is controllable and observable, so the SCOAP
+		// summary must be finite and positive.
+		if p.SCOAPMax <= 0 || p.SCOAPMax >= lint.ScoapInf {
+			t.Errorf("cone %s SCOAPMax = %v", p.Apex, p.SCOAPMax)
+		}
+		if p.SCOAPMean <= 0 || p.SCOAPMean > float64(p.SCOAPMax) {
+			t.Errorf("cone %s SCOAPMean = %v (max %v)", p.Apex, p.SCOAPMean, p.SCOAPMax)
 		}
 	}
 	// c17's two output cones overlap in support (G2, G3, G6).

@@ -54,6 +54,12 @@ type Module struct {
 	Name string
 	Params
 	Children []*Module
+	// ScanChains optionally lists the module's internal scan-chain lengths
+	// (the ITC'02 benchmark files publish these per core). When present,
+	// their sum must equal ScanCells — the TDV formulas consume only the
+	// total, but the per-chain breakdown feeds wrapper/TAM design and is
+	// cross-checked by the SOC linter (rule SOC008).
+	ScanChains []int
 	// PortsTesterAccessible marks a module whose own terminals are chip
 	// pins driven directly by the tester, so they carry no dedicated
 	// wrapper cells and contribute nothing to ISOCOST (only the child
@@ -70,6 +76,16 @@ func (m *Module) Flatten() []*Module {
 		out = append(out, ch.Flatten()...)
 	}
 	return out
+}
+
+// ScanChainSum returns the total length of the declared scan chains, or 0
+// when the module does not publish a per-chain breakdown.
+func (m *Module) ScanChainSum() int {
+	n := 0
+	for _, l := range m.ScanChains {
+		n += l
+	}
+	return n
 }
 
 // ISOCost computes Equation 5 for the module: its own port bits plus the

@@ -17,13 +17,16 @@ import (
 //	soc p34392
 //	tmono 0
 //	module Core0 i 32 o 27 b 114 s 0 t 27 children Core1,Core2,Core10,Core18
-//	module Core1 i 15 o 94 b 0 s 806 t 210
+//	module Core1 i 15 o 94 b 0 s 806 t 210 sc 403,403
 //	module Core1 ... testeraccess
 //	top Core0
 //
 // '#' starts a comment. Keys within a module line may appear in any order
 // after the name; children is a comma-separated list of module names
-// (forward references allowed); testeraccess marks chip-pin modules.
+// (forward references allowed); sc is an optional comma-separated list of
+// internal scan-chain lengths (the ITC'02 files publish these per core —
+// the SOC linter checks their sum against s); testeraccess marks chip-pin
+// modules.
 
 // WriteSOC serializes the SOC profile.
 func WriteSOC(w io.Writer, s *core.SOC) error {
@@ -33,6 +36,13 @@ func WriteSOC(w io.Writer, s *core.SOC) error {
 	for _, m := range s.Modules() {
 		fmt.Fprintf(bw, "module %s i %d o %d b %d s %d t %d",
 			m.Name, m.Inputs, m.Outputs, m.Bidirs, m.ScanCells, m.Patterns)
+		if len(m.ScanChains) > 0 {
+			lens := make([]string, len(m.ScanChains))
+			for i, l := range m.ScanChains {
+				lens[i] = strconv.Itoa(l)
+			}
+			fmt.Fprintf(bw, " sc %s", strings.Join(lens, ","))
+		}
 		if len(m.Children) > 0 {
 			names := make([]string, len(m.Children))
 			for i, ch := range m.Children {
@@ -119,6 +129,16 @@ func ParseSOC(r io.Reader) (*core.SOC, error) {
 				i += 2
 				if key == "children" {
 					children[name] = strings.Split(val, ",")
+					continue
+				}
+				if key == "sc" {
+					for _, part := range strings.Split(val, ",") {
+						l, err := strconv.Atoi(strings.TrimSpace(part))
+						if err != nil || l < 0 {
+							return nil, fmt.Errorf("soc line %d: bad scan-chain length %q", lineNo, part)
+						}
+						m.ScanChains = append(m.ScanChains, l)
+					}
 					continue
 				}
 				n, err := strconv.Atoi(val)

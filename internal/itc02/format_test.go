@@ -4,6 +4,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func TestRoundTripP34392(t *testing.T) {
@@ -130,5 +132,45 @@ func TestGoldenP34392File(t *testing.T) {
 	}
 	if SOCString(s) != SOCString(want) {
 		t.Error("golden file no longer matches the embedded profile; regenerate with 'go run ./cmd/itc02x -emit p34392'")
+	}
+}
+
+// TestScanChainsRoundTrip covers the sc key: per-chain lengths survive the
+// write/parse cycle in order, and malformed lengths are rejected.
+func TestScanChainsRoundTrip(t *testing.T) {
+	src := "soc chains\nmodule T i 1 o 1 b 0 s 0 t 1 children A\nmodule A i 2 o 3 b 0 s 806 t 210 sc 403,403\ntop T\n"
+	s, err := ParseSOCString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a *core.Module
+	for _, m := range s.Modules() {
+		if m.Name == "A" {
+			a = m
+		}
+	}
+	if a == nil || len(a.ScanChains) != 2 || a.ScanChains[0] != 403 || a.ScanChains[1] != 403 {
+		t.Fatalf("scan chains lost: %+v", a)
+	}
+	if a.ScanChainSum() != a.ScanCells {
+		t.Errorf("chain sum %d != scan cells %d", a.ScanChainSum(), a.ScanCells)
+	}
+	re, err := ParseSOCString(SOCString(s))
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, SOCString(s))
+	}
+	for _, m := range re.Modules() {
+		if m.Name == "A" && len(m.ScanChains) != 2 {
+			t.Errorf("round trip dropped scan chains: %+v", m.ScanChains)
+		}
+	}
+	for _, bad := range []string{
+		"soc x\nmodule A s 1 t 1 sc 1,x\ntop A\n",
+		"soc x\nmodule A s 1 t 1 sc -1\ntop A\n",
+		"soc x\nmodule A s 1 t 1 sc\ntop A\n",
+	} {
+		if _, err := ParseSOCString(bad); err == nil {
+			t.Errorf("bad sc accepted: %q", bad)
+		}
 	}
 }

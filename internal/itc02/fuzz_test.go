@@ -6,6 +6,7 @@ import "testing"
 // parses round trip through the writer with identical TDV results.
 func FuzzParseSOC(f *testing.F) {
 	f.Add("soc x\nmodule A i 1 o 2 b 0 s 3 t 4\ntop A\n")
+	f.Add("soc sc\nmodule A i 1 o 2 b 0 s 806 t 4 sc 403,403\ntop A\n")
 	f.Add(SOCString(P34392()))
 	f.Add("soc y\ntmono 10\nmodule T children A testeraccess\nmodule A t 5 s 9\ntop T\n")
 	f.Add("# nothing\n")

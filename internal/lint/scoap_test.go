@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/bench89"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+const c17Src = `# ISCAS'85 c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+// TestSCOAPC17 pins the classic Goldstein measures on c17 against values
+// computed by hand (every gate is a 2-input NAND, so the arithmetic is
+// short): CC0 = ΣCC1+1, CC1 = minCC0+1, CO(input) = CO(out)+CC1(other)+1.
+func TestSCOAPC17(t *testing.T) {
+	c, err := netlist.ParseBenchString("c17", c17Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeSCOAP(c)
+	want := map[string][3]ScoapV{ // CC0, CC1, CO
+		"G1":  {1, 1, 5},
+		"G2":  {1, 1, 6},
+		"G3":  {1, 1, 5},
+		"G6":  {1, 1, 7},
+		"G7":  {1, 1, 6},
+		"G10": {3, 2, 3},
+		"G11": {3, 2, 5},
+		"G16": {4, 2, 3},
+		"G19": {4, 2, 3},
+		"G22": {5, 4, 0},
+		"G23": {5, 5, 0},
+	}
+	for name, w := range want {
+		id, ok := c.Lookup(name)
+		if !ok {
+			t.Fatalf("net %s missing", name)
+		}
+		if s.CC0[id] != w[0] || s.CC1[id] != w[1] || s.CO[id] != w[2] {
+			t.Errorf("%s: got CC0=%v CC1=%v CO=%v, want %v %v %v",
+				name, s.CC0[id], s.CC1[id], s.CO[id], w[0], w[1], w[2])
+		}
+	}
+}
+
+// TestSCOAPFullScanConventions: DFF outputs cost 1 to control (scan load)
+// and DFF data inputs cost 0 to observe (scan capture).
+func TestSCOAPFullScanConventions(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\nd = DFF(n)\nn = NOT(d)\ny = AND(a, d)\n"
+	c, err := netlist.ParseBenchString("seq", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeSCOAP(c)
+	d, _ := c.Lookup("d")
+	n, _ := c.Lookup("n")
+	if s.CC0[d] != 1 || s.CC1[d] != 1 {
+		t.Errorf("DFF output CC = (%v,%v), want (1,1)", s.CC0[d], s.CC1[d])
+	}
+	if s.CO[n] != 0 {
+		t.Errorf("DFF data-input driver CO = %v, want 0 (scan capture)", s.CO[n])
+	}
+}
+
+// TestSCOAPSaturation: logic feeding nothing is unobservable (CO = inf) and
+// a constant is uncontrollable to the opposite value (CC = inf), and the
+// sentinels survive arithmetic without overflow.
+func TestSCOAPSaturation(t *testing.T) {
+	c := netlist.New("sat")
+	a := c.MustAddGate("a", netlist.Input)
+	k := c.MustAddGate("k", netlist.Const0)
+	dangling := c.MustAddGate("dangling", netlist.And, a, k)
+	y := c.MustAddGate("y", netlist.Not, a)
+	c.MustAddGate("z", netlist.Or, dangling, y) // also dangling: no outputs at all reachable
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeSCOAP(c)
+	if s.CC1[k] != ScoapInf {
+		t.Errorf("CONST0 CC1 = %v, want inf", s.CC1[k])
+	}
+	if s.CC1[dangling] != ScoapInf { // needs k at 1: impossible
+		t.Errorf("AND-with-const0 CC1 = %v, want inf", s.CC1[dangling])
+	}
+	if s.CO[y] != ScoapInf {
+		t.Errorf("dangling net CO = %v, want inf", s.CO[y])
+	}
+	if got := s.Difficulty(y, 0); got != ScoapInf {
+		t.Errorf("difficulty through inf CO = %v, want inf", got)
+	}
+	if ScoapInf.String() != "inf" {
+		t.Errorf("inf renders as %q", ScoapInf)
+	}
+}
+
+func TestSCOAPHardestOrdering(t *testing.T) {
+	c, err := netlist.ParseBenchString("c17", c17Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ComputeSCOAP(c).Hardest(0)
+	if len(rows) != c.NumGates() {
+		t.Fatalf("Hardest(0) returned %d rows, want %d", len(rows), c.NumGates())
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Worst > rows[i-1].Worst {
+			t.Fatalf("rows not sorted hardest-first at %d", i)
+		}
+	}
+	if top3 := ComputeSCOAP(c).Hardest(3); len(top3) != 3 {
+		t.Fatalf("Hardest(3) returned %d rows", len(top3))
+	}
+}
+
+// TestSCOAPPredictsATPGEffort is the cross-check the testability report
+// exists for: on a generated circuit, the faults PODEM finds hard (aborted
+// at a tight backtrack limit, or needing many backtracks) must rank
+// significantly higher by SCOAP difficulty than the easy bulk. The check is
+// a rank statistic — the mean SCOAP percentile of the hard set must exceed
+// that of the easy set — so it is robust to the absolute scale of either
+// measure.
+func TestSCOAPPredictsATPGEffort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ATPG run in -short mode")
+	}
+	profile, ok := bench89.ProfileByName("s1423")
+	if !ok {
+		var names []string
+		for _, p := range bench89.StandardProfiles() {
+			names = append(names, p.Name)
+		}
+		t.Fatalf("profile s1238 missing; have %v", names)
+	}
+	c := bench89.MustGenerate(profile)
+	s := ComputeSCOAP(c)
+
+	flist := faults.CollapsedUniverse(c)
+	opts := atpg.DefaultOptions()
+	opts.BacktrackLimit = 6 // tight: force a hard set to exist
+	opts.RandomPatterns = 0 // every fault goes through PODEM
+	opts.Compact = false
+	res := atpg.GenerateForFaults(c, flist, opts)
+	if len(res.Outcomes) == 0 {
+		t.Fatal("no PODEM outcomes")
+	}
+
+	// Percentile rank of each fault's SCOAP difficulty over the outcome set.
+	diffs := make([]ScoapV, len(res.Outcomes))
+	sorted := make([]ScoapV, len(res.Outcomes))
+	for i, o := range res.Outcomes {
+		diffs[i] = s.FaultDifficulty(o.Fault)
+		sorted[i] = diffs[i]
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	percentile := func(d ScoapV) float64 {
+		lo := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= d })
+		hi := sort.Search(len(sorted), func(i int) bool { return sorted[i] > d })
+		return float64(lo+hi) / 2 / float64(len(sorted))
+	}
+
+	var hardSum, easySum float64
+	var hardN, easyN int
+	for i, o := range res.Outcomes {
+		if o.Status == atpg.Aborted || o.Status == atpg.Redundant {
+			hardSum += percentile(diffs[i])
+			hardN++
+		} else {
+			easySum += percentile(diffs[i])
+			easyN++
+		}
+	}
+	if hardN == 0 {
+		t.Skip("backtrack limit produced no hard faults on this profile")
+	}
+	hardMean, easyMean := hardSum/float64(hardN), easySum/float64(easyN)
+	t.Logf("hard faults: %d (mean SCOAP percentile %.2f), easy: %d (%.2f)",
+		hardN, hardMean, easyN, easyMean)
+	if hardMean <= easyMean {
+		t.Errorf("SCOAP does not separate hard faults: hard mean percentile %.3f <= easy %.3f",
+			hardMean, easyMean)
+	}
+}

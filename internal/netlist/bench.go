@@ -8,29 +8,58 @@ import (
 	"strings"
 )
 
-// ParseBench reads a circuit in the ISCAS'89 ".bench" format:
-//
-//	# comment
-//	INPUT(G0)
-//	OUTPUT(G17)
-//	G10 = NAND(G0, G1)
-//	G23 = DFF(G10)
-//
-// Gate type names are case-insensitive; NOT may also be spelled INV.
-// Forward references are allowed (a gate may use a net defined later).
-// The returned circuit is finalized.
-func ParseBench(name string, r io.Reader) (*Circuit, error) {
-	type protoGate struct {
-		name  string
-		typ   GateType
-		fanin []string
-		line  int
-	}
+// BenchStmtKind classifies one statement of a .bench source file.
+type BenchStmtKind uint8
+
+// Statement kinds of the .bench format.
+const (
+	BenchInput  BenchStmtKind = iota // INPUT(name)
+	BenchOutput                      // OUTPUT(name)
+	BenchGate                        // name = TYPE(fanin, ...)
+)
+
+// BenchStmt is one parsed statement of a .bench source, before any semantic
+// checking: the statement scanner keeps going past semantic problems
+// (unknown gate types, duplicate definitions, undriven nets) so that
+// diagnostic passes can report them all with line positions. TypeKnown is
+// false when the gate type token did not name a supported type; Type is
+// only meaningful when TypeKnown is true.
+type BenchStmt struct {
+	Line      int
+	Kind      BenchStmtKind
+	Name      string // declared net (INPUT/OUTPUT) or assignment LHS
+	Type      GateType
+	TypeName  string // raw gate type token, as written
+	TypeKnown bool
+	Fanin     []string
+}
+
+// BenchSyntaxError is a line-level syntax error of a .bench source.
+type BenchSyntaxError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+// Error renders the error in the parser's uniform "bench file:line" style.
+func (e *BenchSyntaxError) Error() string {
+	return fmt.Sprintf("bench %s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// ScanBenchStmts tokenizes a .bench source leniently: every line that parses
+// becomes a BenchStmt, every line that does not becomes a BenchSyntaxError,
+// and scanning continues to the end of the input either way. ParseBench and
+// the DRC linter share this scanner, so "what the parser accepts" and "what
+// the linter sees" cannot drift apart. The final error is an I/O error from
+// the reader, if any.
+func ScanBenchStmts(file string, r io.Reader) ([]BenchStmt, []*BenchSyntaxError, error) {
 	var (
-		protos  []protoGate
-		inputs  []string
-		outputs []string
+		stmts []BenchStmt
+		serrs []*BenchSyntaxError
 	)
+	badLine := func(line int, format string, args ...any) {
+		serrs = append(serrs, &BenchSyntaxError{File: file, Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
@@ -47,48 +76,105 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 		case isDecl(line, "INPUT"):
 			arg, err := parseParen(line[len("INPUT"):], lineNo)
 			if err != nil {
-				return nil, err
+				badLine(lineNo, "%s", err.msg)
+				continue
 			}
-			inputs = append(inputs, arg)
+			stmts = append(stmts, BenchStmt{Line: lineNo, Kind: BenchInput, Name: arg})
 		case isDecl(line, "OUTPUT"):
 			arg, err := parseParen(line[len("OUTPUT"):], lineNo)
 			if err != nil {
-				return nil, err
+				badLine(lineNo, "%s", err.msg)
+				continue
 			}
-			outputs = append(outputs, arg)
+			stmts = append(stmts, BenchStmt{Line: lineNo, Kind: BenchOutput, Name: arg})
 		default:
 			eq := strings.IndexByte(line, '=')
 			if eq < 0 {
-				return nil, fmt.Errorf("bench %s:%d: expected assignment, got %q", name, lineNo, line)
+				badLine(lineNo, "expected assignment, got %q", line)
+				continue
 			}
 			lhs := strings.TrimSpace(line[:eq])
 			rhs := strings.TrimSpace(line[eq+1:])
 			open := strings.IndexByte(rhs, '(')
 			close := strings.LastIndexByte(rhs, ')')
 			if lhs == "" || open <= 0 || close < open {
-				return nil, fmt.Errorf("bench %s:%d: malformed gate %q", name, lineNo, line)
+				badLine(lineNo, "malformed gate %q", line)
+				continue
 			}
 			tname := strings.TrimSpace(rhs[:open])
-			typ, ok := gateTypeFromName(tname)
-			if !ok {
-				return nil, fmt.Errorf("bench %s:%d: unknown gate type %q", name, lineNo, tname)
-			}
+			typ, known := ParseGateTypeName(tname)
 			var fanin []string
 			args := strings.TrimSpace(rhs[open+1 : close])
+			bad := false
 			if args != "" {
 				for _, a := range strings.Split(args, ",") {
 					a = strings.TrimSpace(a)
 					if a == "" {
-						return nil, fmt.Errorf("bench %s:%d: empty fanin in %q", name, lineNo, line)
+						badLine(lineNo, "empty fanin in %q", line)
+						bad = true
+						break
 					}
 					fanin = append(fanin, a)
 				}
 			}
-			protos = append(protos, protoGate{name: lhs, typ: typ, fanin: fanin, line: lineNo})
+			if bad {
+				continue
+			}
+			stmts = append(stmts, BenchStmt{
+				Line: lineNo, Kind: BenchGate, Name: lhs,
+				Type: typ, TypeName: tname, TypeKnown: known, Fanin: fanin,
+			})
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("bench %s: %w", name, err)
+		return stmts, serrs, fmt.Errorf("bench %s: %w", file, err)
+	}
+	return stmts, serrs, nil
+}
+
+// ParseBench reads a circuit in the ISCAS'89 ".bench" format:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = NAND(G0, G1)
+//	G23 = DFF(G10)
+//
+// Gate type names are case-insensitive; NOT may also be spelled INV.
+// Forward references are allowed (a gate may use a net defined later).
+// The returned circuit is finalized.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	stmts, serrs, err := ScanBenchStmts(name, r)
+	if err != nil {
+		return nil, err
+	}
+	if len(serrs) > 0 {
+		return nil, serrs[0]
+	}
+
+	type protoGate struct {
+		name  string
+		typ   GateType
+		fanin []string
+		line  int
+	}
+	var (
+		protos  []protoGate
+		inputs  []string
+		outputs []string
+	)
+	for _, st := range stmts {
+		switch st.Kind {
+		case BenchInput:
+			inputs = append(inputs, st.Name)
+		case BenchOutput:
+			outputs = append(outputs, st.Name)
+		case BenchGate:
+			if !st.TypeKnown {
+				return nil, fmt.Errorf("bench %s:%d: unknown gate type %q", name, st.Line, st.TypeName)
+			}
+			protos = append(protos, protoGate{name: st.Name, typ: st.Type, fanin: st.Fanin, line: st.Line})
+		}
 	}
 
 	c := New(name)
@@ -163,12 +249,43 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 			progress = true
 		}
 		if !progress {
-			stuck := make([]string, 0, len(pending))
-			for n := range pending {
-				stuck = append(stuck, n)
+			// Split the blame precisely instead of reporting every stuck
+			// gate as "unresolved or cyclic": a net that neither the
+			// circuit nor the pending set will ever define is undriven;
+			// with every reference resolvable, the stall is a genuine
+			// combinational cycle, reported with one concrete path.
+			var undriven []string
+			seen := map[string]bool{}
+			for _, p := range pending {
+				for _, fn := range p.fanin {
+					if _, ok := c.Lookup(fn); ok {
+						continue
+					}
+					if _, ok := pending[fn]; ok {
+						continue
+					}
+					if !seen[fn] {
+						seen[fn] = true
+						undriven = append(undriven, fn)
+					}
+				}
 			}
-			sort.Strings(stuck)
-			return nil, fmt.Errorf("bench %s: unresolved or cyclic combinational nets: %v", name, stuck)
+			if len(undriven) > 0 {
+				sort.Strings(undriven)
+				return nil, fmt.Errorf("bench %s: undriven nets (referenced but never defined): %s",
+					name, strings.Join(undriven, ", "))
+			}
+			deps := make(map[string][]string, len(pending))
+			for n, p := range pending {
+				for _, fn := range p.fanin {
+					if _, ok := pending[fn]; ok {
+						deps[n] = append(deps[n], fn)
+					}
+				}
+			}
+			cycle := FindCycle(deps)
+			return nil, fmt.Errorf("bench %s: combinational cycle: %s",
+				name, strings.Join(cycle, " -> "))
 		}
 	}
 	for _, f := range fixes {
@@ -191,6 +308,58 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// FindCycle returns one dependency cycle in the graph as a name path
+// "a, b, ..., a". The graph is guaranteed to contain a cycle (every node
+// has at least one resolvable in-graph dependency and none can make
+// progress). Traversal order is deterministic: sorted names throughout.
+func FindCycle(deps map[string][]string) []string {
+	names := make([]string, 0, len(deps))
+	for n := range deps {
+		names = append(names, n)
+		sort.Strings(deps[n])
+	}
+	sort.Strings(names)
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(deps))
+	var path []string
+	var cycle []string
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		color[n] = grey
+		path = append(path, n)
+		for _, d := range deps[n] {
+			switch color[d] {
+			case white:
+				if visit(d) {
+					return true
+				}
+			case grey:
+				// Found: slice the current path from the first occurrence
+				// of d and close the loop.
+				for i, p := range path {
+					if p == d {
+						cycle = append(append([]string(nil), path[i:]...), d)
+						return true
+					}
+				}
+			}
+		}
+		color[n] = black
+		path = path[:len(path)-1]
+		return false
+	}
+	for _, n := range names {
+		if color[n] == white && visit(n) {
+			return cycle
+		}
+	}
+	return nil
 }
 
 // addDFFDeferred inserts a DFF whose fanin will be patched later.
@@ -262,19 +431,27 @@ func isDecl(line, keyword string) bool {
 	return strings.HasPrefix(rest, "(")
 }
 
-func parseParen(s string, line int) (string, error) {
+// parenError carries the bare message so the scanner can wrap it with its
+// own file/line position.
+type parenError struct{ msg string }
+
+func (e *parenError) Error() string { return e.msg }
+
+func parseParen(s string, line int) (string, *parenError) {
 	s = strings.TrimSpace(s)
 	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
-		return "", fmt.Errorf("bench line %d: expected parenthesised name, got %q", line, s)
+		return "", &parenError{fmt.Sprintf("expected parenthesised name, got %q", s)}
 	}
 	arg := strings.TrimSpace(s[1 : len(s)-1])
 	if arg == "" {
-		return "", fmt.Errorf("bench line %d: empty name", line)
+		return "", &parenError{"empty name"}
 	}
 	return arg, nil
 }
 
-func gateTypeFromName(s string) (GateType, bool) {
+// ParseGateTypeName resolves a .bench gate type token (case-insensitive;
+// NOT/INV and BUF/BUFF are aliases) to its GateType.
+func ParseGateTypeName(s string) (GateType, bool) {
 	switch strings.ToUpper(s) {
 	case "BUF", "BUFF":
 		return Buf, true

@@ -18,6 +18,13 @@ func seedFromTestdata(f *testing.F) {
 	if len(paths) == 0 {
 		f.Fatal("no testdata/*.bench seed netlists found")
 	}
+	// The seeded defect fixtures are corpus material too: the fuzzer then
+	// mutates from inputs that exercise every rejection path of the parser.
+	defects, err := filepath.Glob(filepath.Join("testdata", "defects", "*.bench"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	paths = append(paths, defects...)
 	for _, p := range paths {
 		data, err := os.ReadFile(p)
 		if err != nil {

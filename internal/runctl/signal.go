@@ -22,6 +22,7 @@ func SignalContext(parent context.Context) (ctx context.Context, interrupted fun
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	var hit atomic.Bool
+	// lintgo:allow GO003 the signal watcher must outlive any par scope.
 	go func() {
 		select {
 		case <-ch:
