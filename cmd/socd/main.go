@@ -1,0 +1,178 @@
+// Command socd serves the analysis pipeline over HTTP: ATPG runs, TDV
+// reports and design-rule lints as JSON endpoints, backed by a bounded
+// priority job queue, a worker pool, and a content-addressed result store
+// that makes repeated analyses cache hits instead of recomputations.
+//
+// Usage:
+//
+//	socd -addr :8089 -cache-dir /var/cache/socd
+//	socd -addr 127.0.0.1:0 -workers 4 -cache-max-bytes 67108864
+//
+// Endpoints:
+//
+//	POST /v1/atpg      {"bench": "..."} or {"standin": "s953"} [+ options]
+//	POST /v1/tdv       {"soc": "..."} or {"builtin": "d695"} [+ tmono]
+//	POST /v1/lint      {"bench": "..."} or {"soc": "..."}
+//	GET  /v1/jobs/{id} status and result of an async job
+//	GET  /healthz      liveness, queue depth, drain state
+//	GET  /metricsz     full metrics snapshot (counters, gauges, histograms
+//	                   with p50/p95/p99)
+//
+// Every POST accepts "async": true (202 + job id, poll /v1/jobs/{id}),
+// "priority" (higher runs first), "timeout_ms" (per-job deadline) and
+// "nocache" (force recomputation, skip the store).
+//
+// Shutdown: SIGINT or SIGTERM stops accepting work (new submissions get
+// 503), finishes every accepted job, flushes the trace, writes the run
+// manifest, and exits 0 — a signal is a daemon's normal stop, not an
+// interrupted experiment. A second signal kills the process immediately.
+//
+// Observability:
+//
+//	socd -trace run.jsonl    # structured JSONL trace of every job
+//	socd -metrics            # end-of-run counters to stderr on shutdown
+//	socd -json               # run manifest as JSON to stdout on shutdown
+//	socd -manifest man.json  # also write the manifest to a file (atomic)
+//
+// Exit codes: 0 clean shutdown (including signal-initiated), 1 runtime
+// failure, 2 usage error.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/runctl"
+	"repro/internal/srv"
+	"repro/internal/store"
+)
+
+const prog = "socd"
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8089", "listen address (host:port; port 0 picks a free port)")
+		workers    = flag.Int("workers", 0, "job worker pool size (0 = NumCPU)")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory (empty = caching disabled)")
+		cacheMax   = flag.Int64("cache-max-bytes", 0, "cache byte budget; least-recently-used artifacts are evicted past it (0 = unbounded)")
+		queueSize  = flag.Int("queue", 64, "job backlog bound; submissions past it are rejected with 503")
+		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline (0 = none); requests may override with timeout_ms")
+		jsonOut    = flag.Bool("json", false, "write the run manifest as JSON to stdout on shutdown")
+		manifest   = flag.String("manifest", "", "write the run manifest to `file` on shutdown (atomic replace)")
+	)
+	var ob cli.Obs
+	ob.Register(flag.CommandLine)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cli.Errorf(prog, "unexpected argument %q; see -help", flag.Arg(0))
+		return cli.ExitUsage
+	}
+
+	// The server is always instrumented — /metricsz and the shutdown
+	// manifest need a registry even when no observability flag was given.
+	col := ob.Start(prog)
+	reg := ob.Registry()
+	if reg == nil {
+		reg = obs.NewRegistry()
+		col = obs.New(reg, nil)
+	}
+
+	man := obs.NewManifest(prog, 0)
+	man.SetOption("addr", *addr)
+	man.SetOption("workers", par.Workers(*workers))
+	man.SetOption("queue", *queueSize)
+	man.SetOption("job_timeout", jobTimeout.String())
+	if *cacheDir != "" {
+		man.SetOption("cache_dir", *cacheDir)
+		man.SetOption("cache_max_bytes", *cacheMax)
+	}
+
+	fail := func(err error) int {
+		cli.Errorf(prog, "%v", err)
+		man.SetResult("error", err.Error())
+		finish(&ob, man, reg, *jsonOut, *manifest)
+		return cli.ExitRuntime
+	}
+
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		st, err = store.Open(*cacheDir, *cacheMax, col)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	server := srv.New(srv.Config{
+		Workers:    *workers,
+		QueueSize:  *queueSize,
+		Store:      st,
+		Col:        col,
+		JobTimeout: *jobTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(err)
+	}
+	// The resolved address (meaningful with port 0) goes to stdout so a
+	// supervisor or test can find the daemon.
+	fmt.Printf("%s: listening on http://%s\n", prog, ln.Addr())
+	man.SetOption("listen", ln.Addr().String())
+
+	httpSrv := &http.Server{Handler: server.Handler()}
+
+	// First SIGINT/SIGTERM cancels ctx; a second one kills the process.
+	ctx, interrupted, stopSignals := runctl.SignalContext(context.Background())
+	defer stopSignals()
+	// On signal: stop accepting connections and wait for in-flight
+	// requests (context.AfterFunc supplies the goroutine, keeping the
+	// daemon inside the repo's no-bare-goroutines discipline).
+	stopAfter := context.AfterFunc(ctx, func() {
+		_ = httpSrv.Shutdown(context.Background())
+	})
+	defer stopAfter()
+
+	err = httpSrv.Serve(ln)
+	if err != nil && err != http.ErrServerClosed {
+		server.Drain()
+		return fail(err)
+	}
+
+	// Connections are closed; now drain the job backlog (async jobs may
+	// still be queued or running) so every accepted job lands in the store
+	// before the process exits.
+	server.Drain()
+	man.SetResult("interrupted", interrupted())
+	man.SetResult("drained", true)
+	finish(&ob, man, reg, *jsonOut, *manifest)
+	fmt.Printf("%s: drained, shut down cleanly\n", prog)
+	return 0
+}
+
+// finish seals the manifest, emits it as the final trace event, shuts the
+// observability stack down, and writes the manifest to stdout (-json)
+// and/or a file (-manifest).
+func finish(ob *cli.Obs, man *obs.Manifest, reg *obs.Registry, jsonOut bool, path string) {
+	man.Finish(reg)
+	ob.Stop(man)
+	if jsonOut {
+		cli.Check(prog, man.WriteJSON(os.Stdout))
+	}
+	if path != "" {
+		var buf bytes.Buffer
+		cli.Check(prog, man.WriteJSON(&buf))
+		cli.Check(prog, runctl.WriteFileAtomic(path, buf.Bytes()))
+	}
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("exec test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "tdvcalc")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+// TestJSONManifest checks -json replaces the human report with a run
+// manifest carrying the TDV results.
+func TestJSONManifest(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-builtin", "p34392", "-json").Output()
+	if err != nil {
+		t.Fatalf("tdvcalc -json: %v", err)
+	}
+	var man struct {
+		Tool    string         `json:"tool"`
+		Results map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(out, &man); err != nil {
+		t.Fatalf("stdout is not a JSON manifest: %v\n%s", err, out)
+	}
+	if man.Tool != "tdvcalc" {
+		t.Errorf("tool = %q", man.Tool)
+	}
+	for _, key := range []string{"tdv_modular", "tdv_mono_opt", "penalty", "benefit"} {
+		if _, ok := man.Results[key]; !ok {
+			t.Errorf("manifest missing result %q", key)
+		}
+	}
+}
+
+// TestLintRefusesBrokenSOC checks -lint preflights the source and blocks
+// the run on errors with exit 1.
+func TestLintRefusesBrokenSOC(t *testing.T) {
+	bin := buildBinary(t)
+	path := filepath.Join(t.TempDir(), "bad.soc")
+	if err := os.WriteFile(path, []byte("soc broken\nmodule\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-f", path, "-lint").CombinedOutput()
+	if code := exitCode(t, err); code != cli.ExitRuntime {
+		t.Fatalf("exit %d, want %d\n%s", code, cli.ExitRuntime, out)
+	}
+	if !strings.Contains(string(out), "refusing to run") {
+		t.Errorf("missing refusal message:\n%s", out)
+	}
+}
+
+// TestLintPassesBuiltin checks a clean builtin passes the -lint gate and
+// still produces the report.
+func TestLintPassesBuiltin(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-builtin", "d695", "-lint").Output()
+	if err != nil {
+		t.Fatalf("tdvcalc -lint: %v", err)
+	}
+	if !strings.Contains(string(out), "TDV_mono_opt") {
+		t.Errorf("report missing after lint gate:\n%s", out)
+	}
+}
+
+// TestTraceFlushed checks -trace writes a JSONL trace ending in the
+// manifest event, even for this computation-light command.
+func TestTraceFlushed(t *testing.T) {
+	bin := buildBinary(t)
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	if out, err := exec.Command(bin, "-builtin", "d695", "-trace", trace).CombinedOutput(); err != nil {
+		t.Fatalf("tdvcalc -trace: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if !strings.Contains(string(data), `"manifest"`) {
+		t.Errorf("trace missing manifest event:\n%s", data)
+	}
+}
+
+// TestUsage checks the no-input usage error and that -example still works
+// without any input flags.
+func TestUsage(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin).CombinedOutput()
+	if code := exitCode(t, err); code != cli.ExitUsage {
+		t.Fatalf("exit %d, want %d\n%s", code, cli.ExitUsage, out)
+	}
+	ex, err := exec.Command(bin, "-example").Output()
+	if err != nil || !strings.Contains(string(ex), "soc ") {
+		t.Fatalf("-example: %v\n%s", err, ex)
+	}
+}

@@ -1,0 +1,87 @@
+package atpg
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+const serializeBench = `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+n1 = AND(a, b)
+y = OR(n1, c)
+`
+
+// TestOptionsHashMatchesCheckpointHash pins the exported hash to the
+// checkpoint layer's: a cache keyed by OptionsHash and a checkpoint keyed
+// by optionsHash must agree on what "the same run" means.
+func TestOptionsHashMatchesCheckpointHash(t *testing.T) {
+	c, err := netlist.ParseBenchString("t", serializeBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	n := NumFaultsFor(c)
+	if got, want := OptionsHash(c, n, opts), optionsHash(c, n, opts); got != want {
+		t.Fatalf("OptionsHash = %s, internal hash = %s", got, want)
+	}
+}
+
+// TestOptionsHashSensitivity checks the hash moves with every keying input
+// except Workers, which is excluded because results are worker-invariant.
+func TestOptionsHashSensitivity(t *testing.T) {
+	c, err := netlist.ParseBenchString("t", serializeBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(faults.CollapsedUniverse(c))
+	base := OptionsHash(c, n, DefaultOptions())
+
+	seeded := DefaultOptions()
+	seeded.Seed = 99
+	if OptionsHash(c, n, seeded) == base {
+		t.Error("hash ignored Seed")
+	}
+	if OptionsHash(c, n+1, DefaultOptions()) == base {
+		t.Error("hash ignored fault count")
+	}
+	workers := DefaultOptions()
+	workers.Workers = 7
+	if OptionsHash(c, n, workers) != base {
+		t.Error("hash must not depend on Workers (results are worker-invariant)")
+	}
+}
+
+// TestSummaryEncodingDeterministic checks two generations of the same
+// request encode to identical bytes — the property the serving layer's
+// warm-vs-cold bit-identity guarantee rests on.
+func TestSummaryEncodingDeterministic(t *testing.T) {
+	c, err := netlist.ParseBenchString("t", serializeBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	encode := func() []byte {
+		res := Generate(c, opts)
+		b, err := EncodeSummary(res.Summary(c.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := encode(), encode()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("summaries differ:\n%s\n%s", a, b)
+	}
+	if a[len(a)-1] != '\n' {
+		t.Error("encoding missing trailing newline")
+	}
+	if !bytes.Contains(a, []byte(`"patterns":[`)) {
+		t.Errorf("summary missing pattern set: %s", a)
+	}
+}

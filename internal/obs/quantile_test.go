@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestQuantileUniform checks the interpolated estimates against the exact
+// quantiles of a uniform 1..1000 stream: with bucket bounds every 100 the
+// linear interpolation inside a bucket is exact to within one bucket step.
+func TestQuantileUniform(t *testing.T) {
+	h := NewHistogram(100, 200, 300, 400, 500, 600, 700, 800, 900, 1000)
+	for i := 1; i <= 1000; i++ {
+		h.ObserveInt(i)
+	}
+	s := h.Stats()
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 500}, {0.95, 950}, {0.99, 990}} {
+		got := s.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 10 {
+			t.Errorf("Quantile(%.2f) = %g, want ~%g", tc.q, got, tc.want)
+		}
+	}
+	if s.P50 != s.Quantile(0.50) || s.P95 != s.Quantile(0.95) || s.P99 != s.Quantile(0.99) {
+		t.Error("precomputed P50/P95/P99 disagree with Quantile")
+	}
+}
+
+// TestQuantileClampedToObservedRange checks the estimates never leave
+// [Min, Max] even when the buckets extend far past the observations.
+func TestQuantileClampedToObservedRange(t *testing.T) {
+	h := NewHistogram(1, 1000, 1e6)
+	h.Observe(40)
+	h.Observe(60)
+	s := h.Stats()
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		got := s.Quantile(q)
+		if got < 40 || got > 60 {
+			t.Errorf("Quantile(%.2f) = %g, outside observed [40, 60]", q, got)
+		}
+	}
+}
+
+// TestQuantileOverflowBucket checks observations above the last bound are
+// summarized using Max as the overflow bucket's upper edge.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram(10)
+	h.Observe(5)
+	h.Observe(100)
+	h.Observe(200)
+	s := h.Stats()
+	if got := s.Quantile(0.99); got > 200 || got < 10 {
+		t.Errorf("Quantile(0.99) = %g, want within (10, 200]", got)
+	}
+}
+
+// TestQuantileEmpty checks the empty snapshot yields zeros, not NaN.
+func TestQuantileEmpty(t *testing.T) {
+	var s HistogramStats
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %g, want 0", got)
+	}
+	if s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot quantiles = %g/%g/%g, want 0", s.P50, s.P95, s.P99)
+	}
+}
+
+// TestQuantilesRenderEverywhere checks both renderings of a snapshot — the
+// -metrics text block and the JSON the manifest/JSONL sink embeds — carry
+// the quantile summaries.
+func TestQuantilesRenderEverywhere(t *testing.T) {
+	r := NewRegistry()
+	for i := 1; i <= 100; i++ {
+		r.Histogram("lat", 10, 100).ObserveInt(i)
+	}
+	snap := r.Snapshot()
+
+	text := snap.String()
+	if !strings.Contains(text, "p50=") || !strings.Contains(text, "p95=") || !strings.Contains(text, "p99=") {
+		t.Errorf("text rendering missing quantiles:\n%s", text)
+	}
+
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"p50":`, `"p95":`, `"p99":`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("JSON rendering missing %s: %s", key, b)
+		}
+	}
+}

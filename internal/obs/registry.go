@@ -192,6 +192,13 @@ type HistogramStats struct {
 	Sum    float64   `json:"sum"`
 	Min    float64   `json:"min"`
 	Max    float64   `json:"max"`
+	// P50, P95 and P99 are the bucket-interpolated quantile estimates of
+	// Quantile, precomputed by Stats so every rendering of the snapshot —
+	// the -metrics text dump, the manifest JSON, /metricsz — reports
+	// latency summaries without recomputing them.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 }
 
 // Mean returns the mean observation, or 0 when empty.
@@ -202,6 +209,48 @@ func (s HistogramStats) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket counts
+// by linear interpolation inside the bucket holding the target rank — the
+// usual histogram-quantile estimate. The tracked Min and Max bound the
+// first bucket, the overflow bucket and the returned value, so estimates
+// never stray outside the observed range. An empty snapshot returns 0.
+func (s HistogramStats) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lo := s.Min
+		if i > 0 && s.Bounds[i-1] > lo {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Max
+		if i < len(s.Bounds) && s.Bounds[i] < hi {
+			hi = s.Bounds[i]
+		}
+		if hi <= lo {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return s.Max
+}
+
 // Stats snapshots the histogram.
 func (h *Histogram) Stats() HistogramStats {
 	if h == nil {
@@ -209,7 +258,7 @@ func (h *Histogram) Stats() HistogramStats {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return HistogramStats{
+	s := HistogramStats{
 		Bounds: append([]float64(nil), h.bounds...),
 		Counts: append([]int64(nil), h.counts...),
 		Count:  h.count,
@@ -217,6 +266,10 @@ func (h *Histogram) Stats() HistogramStats {
 		Min:    h.min,
 		Max:    h.max,
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
 }
 
 // Registry names and owns a process-wide set of metrics. Lookup methods
@@ -470,8 +523,8 @@ func (s Snapshot) String() string {
 			name, v.Count, v.TotalSec, v.MaxSec))
 	}
 	for name, v := range s.Histograms {
-		out = append(out, fmt.Sprintf("histo    %-36s count=%d mean=%.1f min=%g max=%g",
-			name, v.Count, v.Mean(), v.Min, v.Max))
+		out = append(out, fmt.Sprintf("histo    %-36s count=%d mean=%.1f p50=%.4g p95=%.4g p99=%.4g min=%g max=%g",
+			name, v.Count, v.Mean(), v.P50, v.P95, v.P99, v.Min, v.Max))
 	}
 	sort.Strings(out)
 	res := ""

@@ -1,0 +1,58 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is the long-lived counterpart of Run and ForEach: a fixed set of
+// worker goroutines for serving workloads, where work arrives continuously
+// (e.g. from a job queue) instead of as a finite index range. The pool
+// exists so that serving layers can keep the repository's GO003
+// determinism discipline — every goroutine is spawned inside internal/par,
+// never ad hoc at a call site.
+//
+// Unlike Run/ForEach, a Pool makes no ordering promises: it is for
+// workloads whose outputs are independently addressed (per-job results),
+// not for computations that must merge deterministically. Panics on a
+// worker are captured and re-raised, lowest worker id first, when Wait is
+// called — the same rule Run applies — so a crashing worker cannot take
+// the process down silently from a background goroutine.
+type Pool struct {
+	wg     sync.WaitGroup
+	panics []*Panic // slot per worker; inspected by Wait
+}
+
+// StartPool launches Workers(workers) goroutines, each running
+// worker(id) with ids 0..n-1, and returns immediately. The worker
+// function owns its exit condition: it returns when its work source is
+// closed or drained. Call Wait to block until every worker has returned.
+func StartPool(workers int, worker func(id int)) *Pool {
+	n := Workers(workers)
+	p := &Pool{panics: make([]*Panic, n)}
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func(id int) {
+			defer p.wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					buf := make([]byte, 16<<10)
+					p.panics[id] = &Panic{Value: r, Stack: buf[:runtime.Stack(buf, false)]}
+				}
+			}()
+			worker(id)
+		}(i)
+	}
+	return p
+}
+
+// Wait blocks until every worker has returned. If any worker panicked,
+// Wait re-panics with the lowest worker id's *Panic.
+func (p *Pool) Wait() {
+	p.wg.Wait()
+	for _, pn := range p.panics {
+		if pn != nil {
+			panic(pn)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolDrainsQueue checks the serving-pool shape: workers pull from a
+// shared channel until it closes, every item is processed exactly once,
+// and Wait returns only after the queue is fully drained.
+func TestPoolDrainsQueue(t *testing.T) {
+	const items = 200
+	ch := make(chan int, items)
+	for i := 0; i < items; i++ {
+		ch <- i
+	}
+	close(ch)
+
+	var seen [items]atomic.Int32
+	p := StartPool(4, func(id int) {
+		for i := range ch {
+			seen[i].Add(1)
+		}
+	})
+	p.Wait()
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("item %d processed %d times, want 1", i, got)
+		}
+	}
+}
+
+// TestPoolWorkerIDs checks each worker receives a distinct id in [0, n).
+func TestPoolWorkerIDs(t *testing.T) {
+	var mu sync.Mutex
+	ids := map[int]bool{}
+	p := StartPool(3, func(id int) {
+		mu.Lock()
+		ids[id] = true
+		mu.Unlock()
+	})
+	p.Wait()
+	if len(ids) != 3 {
+		t.Fatalf("got ids %v, want 3 distinct ids", ids)
+	}
+	for id := range ids {
+		if id < 0 || id >= 3 {
+			t.Fatalf("worker id %d out of range", id)
+		}
+	}
+}
+
+// TestPoolRepanicsLowestWorker checks the Run-consistent panic rule: a
+// panicking worker surfaces at Wait as a *Panic, and when several workers
+// panic the lowest id wins deterministically.
+func TestPoolRepanicsLowestWorker(t *testing.T) {
+	var release sync.WaitGroup
+	release.Add(1)
+	p := StartPool(3, func(id int) {
+		release.Wait() // all workers panic together
+		panic(id)
+	})
+	release.Done()
+	defer func() {
+		r := recover()
+		pn, ok := r.(*Panic)
+		if !ok {
+			t.Fatalf("recovered %T %v, want *Panic", r, r)
+		}
+		if pn.Value != 0 {
+			t.Fatalf("panic value %v, want lowest worker id 0", pn.Value)
+		}
+	}()
+	p.Wait()
+}

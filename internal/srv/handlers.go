@@ -1,0 +1,443 @@
+package srv
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/bench89"
+	"repro/internal/core"
+	"repro/internal/itc02"
+	"repro/internal/lint"
+	"repro/internal/netlist"
+	"repro/internal/runctl"
+	"repro/internal/store"
+)
+
+// maxBodyBytes bounds request bodies; the largest legitimate input is a
+// full .bench netlist, comfortably under this.
+const maxBodyBytes = 16 << 20
+
+// work is a parsed, canonicalized request ready for submission.
+type work struct {
+	kind     string
+	key      string
+	priority int
+	timeout  time.Duration
+	nocache  bool
+	run      func(ctx context.Context) ([]byte, error)
+}
+
+// submitCommon is the request envelope every POST endpoint shares.
+type submitCommon struct {
+	// Priority orders the queue: higher runs first (default 0).
+	Priority int `json:"priority"`
+	// Async returns 202 + a job id immediately; poll /v1/jobs/{id}.
+	Async bool `json:"async"`
+	// TimeoutMS overrides the server's default per-job deadline.
+	TimeoutMS int64 `json:"timeout_ms"`
+	// NoCache forces a fresh computation and keeps its result out of the
+	// store (and out of coalescing).
+	NoCache bool `json:"nocache"`
+}
+
+// apply copies the envelope onto the work unit.
+func (c submitCommon) apply(s *Server, wk *work) {
+	wk.priority = c.Priority
+	wk.nocache = c.NoCache
+	wk.timeout = s.cfg.JobTimeout
+	if c.TimeoutMS > 0 {
+		wk.timeout = time.Duration(c.TimeoutMS) * time.Millisecond
+	}
+}
+
+// --- POST /v1/atpg -------------------------------------------------------
+
+// atpgRequest runs PODEM test generation on a netlist. Exactly one of
+// bench (a .bench source) or standin (a generated ISCAS'89 stand-in name)
+// selects the circuit.
+type atpgRequest struct {
+	submitCommon
+	Bench   string       `json:"bench"`
+	Standin string       `json:"standin"`
+	Options *atpgOptions `json:"options"`
+}
+
+// atpgOptions mirrors the atpg.Options knobs that are meaningful over the
+// wire. Pointers distinguish "absent" (default) from explicit zeros.
+type atpgOptions struct {
+	Backtrack      int   `json:"backtrack"`
+	Random         *int  `json:"random"`
+	Compact        *bool `json:"compact"`
+	DynamicCompact bool  `json:"dynamic_compact"`
+	DynamicTargets int   `json:"dynamic_targets"`
+	Passes         int   `json:"passes"`
+	Seed           *int64 `json:"seed"`
+	Workers        int   `json:"workers"`
+}
+
+// buildOptions resolves the wire options onto the experiment defaults.
+func (o *atpgOptions) buildOptions() atpg.Options {
+	opts := atpg.DefaultOptions()
+	// Jobs default to serial ATPG internals: the pool supplies cross-job
+	// parallelism, and one job must not monopolize every core.
+	opts.Workers = 1
+	if o == nil {
+		return opts
+	}
+	if o.Backtrack > 0 {
+		opts.BacktrackLimit = o.Backtrack
+	}
+	if o.Random != nil {
+		opts.RandomPatterns = *o.Random
+	}
+	if o.Compact != nil {
+		opts.Compact = *o.Compact
+	}
+	opts.DynamicCompact = o.DynamicCompact
+	if o.DynamicTargets > 0 {
+		opts.DynamicTargets = o.DynamicTargets
+	}
+	if o.Passes > 0 {
+		opts.Passes = o.Passes
+	}
+	if o.Seed != nil {
+		opts.Seed = *o.Seed
+	}
+	if o.Workers > 0 {
+		opts.Workers = o.Workers
+	}
+	return opts
+}
+
+func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
+	var req atpgRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var (
+		c   *netlist.Circuit
+		err error
+	)
+	switch {
+	case req.Standin != "" && req.Bench != "":
+		badRequest(w, "give bench or standin, not both")
+		return
+	case req.Standin != "":
+		prof, ok := bench89.ProfileByName(req.Standin)
+		if !ok {
+			badRequest(w, "unknown stand-in %q", req.Standin)
+			return
+		}
+		c, err = bench89.Generate(prof)
+	case req.Bench != "":
+		c, err = netlist.ParseBenchString("request.bench", req.Bench)
+	default:
+		badRequest(w, "need bench or standin")
+		return
+	}
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	opts := req.Options.buildOptions()
+	opts.Obs = s.col
+	// The content address binds the canonical circuit structure to every
+	// option that steers the search — the same fingerprint checkpoints
+	// use — so formatting differences or a changed seed never alias.
+	canon := netlist.BenchString(c)
+	key := store.Key("atpg", []byte(canon), atpg.OptionsHash(c, atpg.NumFaultsFor(c), opts))
+	wk := work{
+		kind: "atpg",
+		key:  key,
+		run: func(ctx context.Context) ([]byte, error) {
+			res, rerr := atpg.GenerateContext(ctx, c, opts)
+			if rerr != nil {
+				return nil, rerr
+			}
+			return atpg.EncodeSummary(res.Summary(c.Name))
+		},
+	}
+	req.apply(s, &wk)
+	s.dispatch(w, r, wk, req.Async)
+}
+
+// --- POST /v1/tdv --------------------------------------------------------
+
+// tdvRequest computes the monolithic-vs-modular TDV comparison for an SOC
+// profile: either an inline .soc source or a built-in ITC'02 name.
+type tdvRequest struct {
+	submitCommon
+	SOC     string `json:"soc"`
+	Builtin string `json:"builtin"`
+	TMono   *int   `json:"tmono"`
+}
+
+func (s *Server) handleTDV(w http.ResponseWriter, r *http.Request) {
+	var req tdvRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var (
+		soc *core.SOC
+		err error
+	)
+	switch {
+	case req.Builtin != "" && req.SOC != "":
+		badRequest(w, "give soc or builtin, not both")
+		return
+	case req.Builtin != "":
+		soc, err = itc02.SOCByName(req.Builtin)
+	case req.SOC != "":
+		soc, err = itc02.ParseSOC(strings.NewReader(req.SOC))
+	default:
+		badRequest(w, "need soc or builtin")
+		return
+	}
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	if req.TMono != nil {
+		soc.TMono = *req.TMono
+	}
+	// Canonicalizing after the override folds tmono into the address.
+	canon := itc02.SOCString(soc)
+	wk := work{
+		kind: "tdv",
+		key:  store.Key("tdv", []byte(canon), "v1"),
+		run: func(ctx context.Context) ([]byte, error) {
+			rep := soc.Analyze()
+			b, merr := json.Marshal(rep)
+			if merr != nil {
+				return nil, merr
+			}
+			return append(b, '\n'), nil
+		},
+	}
+	req.apply(s, &wk)
+	s.dispatch(w, r, wk, req.Async)
+}
+
+// --- POST /v1/lint -------------------------------------------------------
+
+// lintRequest runs the static design-rule checks over an inline source:
+// the netlist DRC for bench, the SOC rules for soc.
+type lintRequest struct {
+	submitCommon
+	Bench string `json:"bench"`
+	SOC   string `json:"soc"`
+}
+
+// lintArtifact is the stored/served lint result.
+type lintArtifact struct {
+	Errors   int        `json:"errors"`
+	Warnings int        `json:"warnings"`
+	Infos    int        `json:"infos"`
+	Diags    []lintDiag `json:"diags"`
+}
+
+type lintDiag struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line,omitempty"`
+	Subject  string `json:"subject,omitempty"`
+	Msg      string `json:"msg"`
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	var req lintRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var (
+		mode string
+		src  string
+	)
+	switch {
+	case req.Bench != "" && req.SOC != "":
+		badRequest(w, "give bench or soc, not both")
+		return
+	case req.Bench != "":
+		mode, src = "bench", req.Bench
+	case req.SOC != "":
+		mode, src = "soc", req.SOC
+	default:
+		badRequest(w, "need bench or soc")
+		return
+	}
+	wk := work{
+		kind: "lint",
+		key:  store.Key("lint", []byte(src), mode),
+		run: func(ctx context.Context) ([]byte, error) {
+			var rep *lint.Report
+			if mode == "bench" {
+				rep = lint.CheckBench("request.bench", src, lint.DefaultOptions())
+			} else {
+				rep = lint.CheckSOCSource("request.soc", src)
+			}
+			rep.Sort()
+			art := lintArtifact{
+				Errors:   rep.Count(lint.Error),
+				Warnings: rep.Count(lint.Warning),
+				Infos:    rep.Count(lint.Info),
+				Diags:    make([]lintDiag, 0, len(rep.Diags)),
+			}
+			for _, d := range rep.Diags {
+				art.Diags = append(art.Diags, lintDiag{
+					Rule:     d.Rule,
+					Severity: d.Sev.String(),
+					File:     d.Pos.File,
+					Line:     d.Pos.Line,
+					Subject:  d.Subject,
+					Msg:      d.Msg,
+				})
+			}
+			b, merr := json.Marshal(art)
+			if merr != nil {
+				return nil, merr
+			}
+			return append(b, '\n'), nil
+		},
+	}
+	req.apply(s, &wk)
+	s.dispatch(w, r, wk, req.Async)
+}
+
+// --- GET /v1/jobs/{id}, /healthz, /metricsz ------------------------------
+
+// jobStatus is the /v1/jobs/{id} response.
+type jobStatus struct {
+	Job       string          `json:"job"`
+	Kind      string          `json:"kind"`
+	Status    string          `json:"status"`
+	Cache     string          `json:"cache,omitempty"` // "hit" when served from the store
+	Coalesced int64           `json:"coalesced,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job"})
+		return
+	}
+	state, result, err, cached, coalesced := j.snapshot()
+	st := jobStatus{Job: j.id, Kind: j.kind, Status: state.String(), Coalesced: coalesced}
+	if cached {
+		st.Cache = "hit"
+	}
+	if err != nil {
+		st.Error = err.Error()
+	}
+	if state == stateDone {
+		st.Result = json.RawMessage(result)
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       !s.Draining(),
+		"queued":   s.Queued(),
+		"draining": s.Draining(),
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	snap := s.col.Metrics().Snapshot()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// --- dispatch machinery --------------------------------------------------
+
+// dispatch submits the work and writes the response: the artifact bytes
+// verbatim on the synchronous path (with X-Cache and X-Job headers), or a
+// 202 + job id on the asynchronous one. A warm store hit never queues.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, wk work, async bool) {
+	j, cachedArtifact, err := s.submit(wk)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+	if cachedArtifact != nil {
+		writeArtifact(w, cachedArtifact, true, "")
+		return
+	}
+	if async {
+		w.Header().Set("Location", "/v1/jobs/"+j.id)
+		writeJSON(w, http.StatusAccepted, map[string]string{"job": j.id, "status": "queued"})
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// The client went away; the job keeps running so its result still
+		// lands in the store for the next request.
+		return
+	}
+	_, result, jerr, cached, _ := j.snapshot()
+	if jerr != nil {
+		code := http.StatusInternalServerError
+		if runctl.IsCancel(jerr) {
+			code = http.StatusGatewayTimeout
+		}
+		writeJSON(w, code, map[string]string{"error": jerr.Error(), "job": j.id})
+		return
+	}
+	writeArtifact(w, result, cached, j.id)
+}
+
+// writeArtifact serves stored/computed artifact bytes verbatim — the
+// warm-equals-cold bit-identity guarantee lives on this verbatim write.
+func writeArtifact(w http.ResponseWriter, data []byte, cached bool, jobID string) {
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	if jobID != "" {
+		w.Header().Set("X-Job", jobID)
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// decode reads a JSON body into dst, rejecting oversized or malformed
+// requests with a 400.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(dst); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "request body too large"})
+			return false
+		}
+		badRequest(w, "malformed request: %v", err)
+		return false
+	}
+	return true
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	w.Write(append(b, '\n'))
+}

@@ -1,0 +1,109 @@
+package srv
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Queue admission errors, surfaced to clients as 503s.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity — backpressure instead of unbounded memory growth.
+	ErrQueueFull = errors.New("srv: job queue full")
+	// ErrDraining rejects a submission after drain has begun; accepted
+	// jobs still run to completion.
+	ErrDraining = errors.New("srv: server is draining")
+)
+
+// jobHeap orders jobs by descending priority, FIFO (ascending submission
+// sequence) within a priority — so a burst of equal-priority work is
+// served in arrival order and a high-priority job overtakes the backlog.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)        { *h = append(*h, x.(*job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// jobQueue is the bounded blocking priority queue between the HTTP
+// handlers and the worker pool. Close stops admission immediately but
+// lets workers drain what was already accepted.
+type jobQueue struct {
+	mu     sync.Mutex
+	nonEmpty *sync.Cond
+	heap   jobHeap
+	max    int
+	closed bool
+	depth  *obs.Gauge // srv.queue.depth
+}
+
+func newJobQueue(max int, depth *obs.Gauge) *jobQueue {
+	q := &jobQueue{max: max, depth: depth}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits a job, or reports why it cannot (full or draining).
+func (q *jobQueue) push(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if q.max > 0 && len(q.heap) >= q.max {
+		return ErrQueueFull
+	}
+	heap.Push(&q.heap, j)
+	q.depth.Set(int64(len(q.heap)))
+	q.nonEmpty.Signal()
+	return nil
+}
+
+// pop blocks until a job is available and returns it; it returns false
+// only when the queue is closed and fully drained — the workers' exit
+// condition.
+func (q *jobQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.nonEmpty.Wait()
+	}
+	j := heap.Pop(&q.heap).(*job)
+	q.depth.Set(int64(len(q.heap)))
+	return j, true
+}
+
+// close stops admission and wakes every blocked worker so they can drain
+// the backlog and exit.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.nonEmpty.Broadcast()
+}
+
+// depthNow returns the current backlog length.
+func (q *jobQueue) depthNow() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}

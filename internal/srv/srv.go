@@ -1,0 +1,384 @@
+// Package srv is the serving subsystem of the reproduction: an HTTP JSON
+// API that turns the one-shot analysis pipeline (ATPG, TDV, lint) into a
+// long-running analysis-as-a-service layer, the kind of system the
+// ROADMAP's north star asks for.
+//
+// Architecture:
+//
+//   - Requests are parsed and canonicalized by the handlers, which derive
+//     a content address (internal/store.Key) from the canonical input and
+//     the options fingerprint. A warm key is answered straight from the
+//     store — bit-identical to the cold response, because the stored
+//     artifact IS the cold response body.
+//   - Cold keys become jobs on a bounded priority queue (higher priority
+//     first, FIFO within), executed by a fixed worker pool built on
+//     internal/par's Pool, each under its own deadline.
+//   - Identical in-flight keys coalesce: the second request for a key
+//     whose job is queued or running attaches to that job instead of
+//     enqueueing a duplicate, so a thundering herd performs exactly one
+//     computation.
+//   - Drain (wired to SIGINT/SIGTERM by cmd/socd via internal/runctl)
+//     stops admission, lets the workers finish every accepted job, and
+//     returns — in-flight work completes and lands in the store before
+//     the process exits.
+//
+// Everything is instrumented through internal/obs: queue-depth gauge,
+// per-kind latency histograms (whose p50/p95/p99 surface on /metricsz),
+// executed/coalesced/failed counters, and the store's hit/miss/eviction
+// counters.
+package srv
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/runctl"
+	"repro/internal/store"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Workers is the size of the job worker pool (0 = NumCPU).
+	Workers int
+	// QueueSize bounds the job backlog; submissions beyond it are
+	// rejected with 503. 0 means the default of 64.
+	QueueSize int
+	// Store is the content-addressed result cache; nil disables caching
+	// (every request computes).
+	Store *store.Store
+	// Col receives instrumentation; nil disables it.
+	Col *obs.Collector
+	// JobTimeout is the default per-job deadline; a request may set its
+	// own (timeout_ms), which takes precedence. 0 means no deadline.
+	JobTimeout time.Duration
+	// JobHistory is how many completed jobs stay queryable via
+	// /v1/jobs/{id}; 0 means the default of 512.
+	JobHistory int
+}
+
+// jobState is the lifecycle of a job as /v1/jobs reports it.
+type jobState int32
+
+const (
+	stateQueued jobState = iota
+	stateRunning
+	stateDone
+	stateFailed
+)
+
+func (s jobState) String() string {
+	switch s {
+	case stateQueued:
+		return "queued"
+	case stateRunning:
+		return "running"
+	case stateDone:
+		return "done"
+	case stateFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// job is one unit of work: a closure computing artifact bytes, plus the
+// bookkeeping the queue, the coalescing map and /v1/jobs need.
+type job struct {
+	id       string
+	kind     string // "atpg", "tdv", "lint"
+	key      string // content address; "" = uncacheable
+	priority int
+	seq      int64
+	timeout  time.Duration
+	run      func(ctx context.Context) ([]byte, error)
+
+	done chan struct{} // closed exactly once, after the fields below are final
+
+	mu        sync.Mutex
+	state     jobState
+	result    []byte
+	err       error
+	cached    bool  // result came from the store, not a computation
+	coalesced int64 // requests that attached to this job beyond the first
+}
+
+func (j *job) setState(s jobState) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// snapshot returns the fields /v1/jobs renders, consistently.
+func (j *job) snapshot() (state jobState, result []byte, err error, cached bool, coalesced int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.result, j.err, j.cached, j.coalesced
+}
+
+// complete finalizes the job and releases every waiter.
+func (j *job) complete(result []byte, err error, cached bool) {
+	j.mu.Lock()
+	j.result, j.err, j.cached = result, err, cached
+	if err != nil {
+		j.state = stateFailed
+	} else {
+		j.state = stateDone
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Server is the serving subsystem. Construct with New, expose with
+// Handler, shut down with Drain.
+type Server struct {
+	cfg   Config
+	col   *obs.Collector
+	store *store.Store
+	queue *jobQueue
+	pool  *par.Pool
+
+	mu       sync.Mutex
+	draining bool
+	seq      int64
+	jobs     map[string]*job // by id, bounded by JobHistory
+	jobOrder []string        // completion-retention ring
+	inflight map[string]*job // by key: queued or running, coalescing target
+
+	cEnqueued  *obs.Counter
+	cExecuted  *obs.Counter
+	cCoalesced *obs.Counter
+	cFailed    *obs.Counter
+	cCacheHits *obs.Counter // served from the store without queueing
+	cRejected  *obs.Counter
+}
+
+// New builds the server and starts its worker pool. Call Drain to stop.
+func New(cfg Config) *Server {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.JobHistory <= 0 {
+		cfg.JobHistory = 512
+	}
+	s := &Server{
+		cfg:        cfg,
+		col:        cfg.Col,
+		store:      cfg.Store,
+		jobs:       make(map[string]*job),
+		inflight:   make(map[string]*job),
+		cEnqueued:  cfg.Col.Counter("srv.jobs.enqueued"),
+		cExecuted:  cfg.Col.Counter("srv.jobs.executed"),
+		cCoalesced: cfg.Col.Counter("srv.jobs.coalesced"),
+		cFailed:    cfg.Col.Counter("srv.jobs.failed"),
+		cCacheHits: cfg.Col.Counter("srv.cache.served"),
+		cRejected:  cfg.Col.Counter("srv.queue.rejected"),
+	}
+	s.queue = newJobQueue(cfg.QueueSize, cfg.Col.Gauge("srv.queue.depth"))
+	s.col.Gauge("srv.workers").Set(int64(par.Workers(cfg.Workers)))
+	s.pool = par.StartPool(cfg.Workers, s.work)
+	return s
+}
+
+// Drain stops admission (new submissions get 503), waits for the workers
+// to finish every accepted job, and returns. It is idempotent.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.queue.close()
+	s.pool.Wait()
+}
+
+// submit routes work through the cache, the coalescing map and the queue.
+// It returns the job to wait on, the cached artifact when the store
+// already held it (job == nil then), or an admission error.
+func (s *Server) submit(wk work) (j *job, cachedArtifact []byte, err error) {
+	if wk.key != "" && !wk.nocache && s.store != nil {
+		if data, ok := s.store.Get(wk.key); ok {
+			s.cCacheHits.Inc()
+			return nil, data, nil
+		}
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.cRejected.Inc()
+		return nil, nil, ErrDraining
+	}
+	if wk.key != "" && !wk.nocache {
+		if exist := s.inflight[wk.key]; exist != nil {
+			exist.mu.Lock()
+			exist.coalesced++
+			exist.mu.Unlock()
+			s.mu.Unlock()
+			s.cCoalesced.Inc()
+			return exist, nil, nil
+		}
+	}
+	s.seq++
+	j = &job{
+		id:       fmt.Sprintf("j%d", s.seq),
+		kind:     wk.kind,
+		key:      wk.key,
+		priority: wk.priority,
+		seq:      s.seq,
+		timeout:  wk.timeout,
+		run:      wk.run,
+		done:     make(chan struct{}),
+	}
+	if wk.nocache {
+		j.key = "" // never store or coalesce an explicitly uncached run
+	}
+	s.jobs[j.id] = j
+	s.retainLocked(j.id)
+	if j.key != "" {
+		s.inflight[j.key] = j
+	}
+	s.mu.Unlock()
+
+	if qerr := s.queue.push(j); qerr != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		if j.key != "" && s.inflight[j.key] == j {
+			delete(s.inflight, j.key)
+		}
+		s.mu.Unlock()
+		s.cRejected.Inc()
+		return nil, nil, qerr
+	}
+	s.cEnqueued.Inc()
+	if s.col.Tracing() {
+		s.col.Emit("srv.enqueue",
+			obs.F("job", j.id), obs.F("kind", j.kind),
+			obs.F("key", short(j.key)), obs.F("priority", j.priority))
+	}
+	return j, nil, nil
+}
+
+// retainLocked bounds the job map: the oldest retained job is forgotten
+// once the history cap is exceeded.
+func (s *Server) retainLocked(id string) {
+	s.jobOrder = append(s.jobOrder, id)
+	for len(s.jobOrder) > s.cfg.JobHistory {
+		old := s.jobOrder[0]
+		s.jobOrder = s.jobOrder[1:]
+		delete(s.jobs, old)
+	}
+}
+
+// lookup returns a retained job by id.
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// work is one pool worker: drain the queue until it closes.
+func (s *Server) work(workerID int) {
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job: a last-moment cache check (an identical job
+// may have completed between submission and dequeue), then the
+// computation under its deadline, then persistence and completion.
+func (s *Server) runJob(j *job) {
+	j.setState(stateRunning)
+	span := s.col.StartSpan("srv.job", obs.F("job", j.id), obs.F("kind", j.kind))
+
+	var (
+		data   []byte
+		err    error
+		cached bool
+	)
+	if j.key != "" && s.store != nil {
+		if b, ok := s.store.Get(j.key); ok {
+			data, cached = b, true
+		}
+	}
+	if !cached {
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if j.timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, j.timeout)
+		}
+		func() {
+			defer cancel()
+			// A panic in one job must not take the worker (or the other
+			// jobs) down; it fails this job with the typed error the rest
+			// of the pipeline uses for recovered panics.
+			defer func() {
+				if r := recover(); r != nil {
+					err = &runctl.PanicError{
+						Op: "srv." + j.kind, Detail: "job " + j.id,
+						Value: r, Stack: debug.Stack(),
+					}
+				}
+			}()
+			data, err = j.run(ctx)
+		}()
+		s.cExecuted.Inc()
+		if err == nil && j.key != "" && s.store != nil {
+			if perr := s.store.Put(j.key, data); perr != nil {
+				// The response is still served; only reuse is lost.
+				s.col.Counter("srv.store.put_errors").Inc()
+			}
+		}
+	}
+	if err != nil {
+		s.cFailed.Inc()
+	}
+	d := span.End(obs.F("cached", cached), obs.F("ok", err == nil))
+	s.col.Histogram("srv.latency."+j.kind, latencyBounds...).Observe(d.Seconds())
+
+	s.mu.Lock()
+	if j.key != "" && s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.mu.Unlock()
+	j.complete(data, err, cached)
+}
+
+// latencyBounds cover 0.5ms to ~65s exponentially — the spread between a
+// cache-adjacent lint job and a heavyweight ATPG run.
+var latencyBounds = obs.ExpBounds(0.0005, 2, 18)
+
+// Queued returns the current backlog depth (the /healthz figure).
+func (s *Server) Queued() int { return s.queue.depthNow() }
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Handler returns the HTTP API (see handlers.go for the routes).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/atpg", s.handleATPG)
+	mux.HandleFunc("POST /v1/tdv", s.handleTDV)
+	mux.HandleFunc("POST /v1/lint", s.handleLint)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	return mux
+}
+
+// short abbreviates a content address for trace events.
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

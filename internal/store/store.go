@@ -1,0 +1,245 @@
+// Package store is a content-addressed artifact cache: the persistence
+// layer that lets the serving subsystem reuse previously computed ATPG
+// outcomes, pattern sets and TDV reports instead of regenerating them —
+// the same reuse-over-regeneration economics as pre-computed per-core
+// pattern schemes, applied across requests.
+//
+// Keys are SHA-256 hashes of everything that determines an artifact (the
+// canonical input bytes plus an options fingerprint, see Key), so equal
+// keys imply byte-equal artifacts and a hit can be served verbatim.
+// Artifacts live as one file per key, written with the crash-safe
+// write-rename of internal/runctl: a reader never observes a torn
+// artifact. An in-memory LRU index with a byte budget bounds the disk
+// footprint — inserting past the budget evicts least-recently-used
+// artifacts, files included. Hit/miss/eviction counters and byte/entry
+// gauges flow through internal/obs.
+//
+// The store is safe for concurrent use. Eviction order is a pure function
+// of the access sequence (a logical clock, never wall time), keeping the
+// layer inside the repository's determinism discipline.
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/runctl"
+)
+
+// ext is the artifact file suffix; everything else in the directory is
+// ignored, so a cache dir can host the daemon's manifest alongside.
+const ext = ".art"
+
+// Key derives the content address of an artifact: SHA-256 over the
+// artifact kind (e.g. "atpg", "tdv"), the canonical input bytes (the
+// canonical .bench or .soc serialization, so formatting differences
+// collapse onto one key) and an options fingerprint such as
+// atpg.OptionsHash. The hex form is filesystem- and URL-safe.
+func Key(kind string, canonical []byte, optsHash string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%d\x00", kind, len(canonical))
+	h.Write(canonical)
+	fmt.Fprintf(h, "\x00%s", optsHash)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// entry is one indexed artifact: its size and its LRU position.
+type entry struct {
+	size int64
+	elem *list.Element // value: the key string
+}
+
+// Store is the cache. Open constructs it; the zero value is not usable.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used
+	bytes   int64
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	puts      *obs.Counter
+	gBytes    *obs.Gauge
+	gEntries  *obs.Gauge
+}
+
+// Open creates (if needed) and indexes the artifact directory. maxBytes
+// bounds the total artifact size on disk; zero or negative means
+// unbounded. Existing artifacts are indexed in sorted filename order —
+// a deterministic initial LRU order — and evicted immediately if they
+// already exceed the budget. col may be nil (no metrics).
+func Open(dir string, maxBytes int64, col *obs.Collector) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:       dir,
+		maxBytes:  maxBytes,
+		entries:   make(map[string]*entry),
+		lru:       list.New(),
+		hits:      col.Counter("store.hits"),
+		misses:    col.Counter("store.misses"),
+		evictions: col.Counter("store.evictions"),
+		puts:      col.Counter("store.puts"),
+		gBytes:    col.Gauge("store.bytes"),
+		gEntries:  col.Gauge("store.entries"),
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	names := make([]string, 0, len(des))
+	sizes := make(map[string]int64, len(des))
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ext) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with deletion; skip
+		}
+		names = append(names, strings.TrimSuffix(name, ext))
+		sizes[strings.TrimSuffix(name, ext)] = info.Size()
+	}
+	sort.Strings(names)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, key := range names {
+		s.insertLocked(key, sizes[key])
+	}
+	s.evictLocked()
+	return s, nil
+}
+
+// path returns the artifact file for a key.
+func (s *Store) path(key string) string { return filepath.Join(s.dir, key+ext) }
+
+// Get returns the artifact bytes for key and marks it most recently used.
+// A missing key — or an indexed key whose file has vanished underneath the
+// store — is a miss.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok {
+		s.lru.MoveToFront(e.elem)
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.misses.Inc()
+		return nil, false
+	}
+	data, err := runctl.ReadFile(s.path(key))
+	if err != nil {
+		// The file was removed out from under the index (external cleanup);
+		// drop the stale entry and report a miss.
+		s.mu.Lock()
+		if e, ok := s.entries[key]; ok {
+			s.removeLocked(key, e)
+		}
+		s.mu.Unlock()
+		s.misses.Inc()
+		return nil, false
+	}
+	s.hits.Inc()
+	return data, true
+}
+
+// Contains reports whether key is indexed, without touching the LRU order
+// or the hit/miss counters. Tests use it to observe eviction decisions.
+func (s *Store) Contains(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// Put persists the artifact under key (crash-safely: the file is either
+// absent or complete) and marks it most recently used, evicting older
+// artifacts as needed to return under the byte budget. Re-putting an
+// existing key refreshes its recency and contents. An artifact larger
+// than the whole budget is written and immediately evicted — the store
+// never rejects, it just cannot retain it.
+func (s *Store) Put(key string, data []byte) error {
+	if err := runctl.WriteFileAtomic(s.path(key), data); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.puts.Inc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		s.bytes += int64(len(data)) - e.size
+		e.size = int64(len(data))
+		s.lru.MoveToFront(e.elem)
+	} else {
+		s.insertLocked(key, int64(len(data)))
+	}
+	s.evictLocked()
+	return nil
+}
+
+// Len returns the number of indexed artifacts.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes returns the total indexed artifact size.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// insertLocked indexes a new key at the front of the LRU.
+func (s *Store) insertLocked(key string, size int64) {
+	s.entries[key] = &entry{size: size, elem: s.lru.PushFront(key)}
+	s.bytes += size
+	s.updateGaugesLocked()
+}
+
+// removeLocked drops key from the index and deletes its file.
+func (s *Store) removeLocked(key string, e *entry) {
+	s.lru.Remove(e.elem)
+	delete(s.entries, key)
+	s.bytes -= e.size
+	// A deletion failure leaves an orphan file but a consistent index; the
+	// next Open re-indexes the orphan. Nothing more useful to do here.
+	_ = os.Remove(s.path(key))
+	s.updateGaugesLocked()
+}
+
+// evictLocked removes least-recently-used artifacts until the byte budget
+// holds (no-op when unbounded).
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.bytes > s.maxBytes {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		key := back.Value.(string)
+		s.removeLocked(key, s.entries[key])
+		s.evictions.Inc()
+	}
+}
+
+func (s *Store) updateGaugesLocked() {
+	s.gBytes.Set(s.bytes)
+	s.gEntries.Set(int64(len(s.entries)))
+}

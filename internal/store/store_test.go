@@ -1,0 +1,238 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func open(t *testing.T, dir string, maxBytes int64, col *obs.Collector) *Store {
+	t.Helper()
+	s, err := Open(dir, maxBytes, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestKeyProperties checks the content address moves with each component
+// and stays filesystem-safe.
+func TestKeyProperties(t *testing.T) {
+	base := Key("atpg", []byte("netlist"), "h1")
+	if len(base) != 64 {
+		t.Fatalf("key %q is not a hex SHA-256", base)
+	}
+	if Key("tdv", []byte("netlist"), "h1") == base {
+		t.Error("key ignored kind")
+	}
+	if Key("atpg", []byte("netlist2"), "h1") == base {
+		t.Error("key ignored canonical bytes")
+	}
+	if Key("atpg", []byte("netlist"), "h2") == base {
+		t.Error("key ignored options hash")
+	}
+	if Key("atpg", []byte("netlist"), "h1") != base {
+		t.Error("key not deterministic")
+	}
+}
+
+// TestPutGetRoundTrip checks basic persistence plus the hit/miss counters.
+func TestPutGetRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := open(t, t.TempDir(), 0, obs.New(reg, nil))
+	key := Key("atpg", []byte("c17"), "opts")
+	want := []byte(`{"patterns":["01","10"]}` + "\n")
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, want)
+	}
+	if _, ok := s.Get(Key("atpg", []byte("other"), "opts")); ok {
+		t.Error("Get of unknown key succeeded")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["store.hits"] != 1 || snap.Counters["store.misses"] != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1",
+			snap.Counters["store.hits"], snap.Counters["store.misses"])
+	}
+	if snap.Gauges["store.entries"] != 1 {
+		t.Errorf("entries gauge = %d, want 1", snap.Gauges["store.entries"])
+	}
+}
+
+// TestEvictionOrderIsLRU is the eviction-order contract: artifacts leave
+// in least-recently-used order, where both Get and Put refresh recency.
+func TestEvictionOrderIsLRU(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Budget of 3 ten-byte artifacts.
+	s := open(t, t.TempDir(), 30, obs.New(reg, nil))
+	data := bytes.Repeat([]byte("x"), 10)
+	keys := make([]string, 4)
+	for i := range keys {
+		keys[i] = Key("k", []byte{byte(i)}, "")
+	}
+	for _, k := range keys[:3] {
+		if err := s.Put(k, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key 0: order (old→new) is now 1, 2, 0.
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("warm Get missed")
+	}
+	// Inserting key 3 must evict key 1 — the least recently used — not the
+	// oldest-inserted key 0.
+	if err := s.Put(keys[3], data); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(keys[1]) {
+		t.Error("LRU key 1 survived eviction")
+	}
+	for _, k := range []string{keys[0], keys[2], keys[3]} {
+		if !s.Contains(k) {
+			t.Errorf("key %s evicted out of LRU order", k[:8])
+		}
+	}
+	// One more insert evicts key 2 (order is 0, 3 after it).
+	k4 := Key("k", []byte{9}, "")
+	if err := s.Put(k4, data); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(keys[2]) || !s.Contains(keys[0]) || !s.Contains(keys[3]) {
+		t.Error("second eviction out of LRU order")
+	}
+	if got := reg.Snapshot().Counters["store.evictions"]; got != 2 {
+		t.Errorf("evictions = %d, want 2", got)
+	}
+	if s.Bytes() > 30 {
+		t.Errorf("bytes = %d, over the 30-byte budget", s.Bytes())
+	}
+}
+
+// TestEvictionDeletesFiles checks eviction removes the artifact file, not
+// just the index entry.
+func TestEvictionDeletesFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 10, nil)
+	k1, k2 := Key("k", []byte{1}, ""), Key("k", []byte{2}, "")
+	if err := s.Put(k1, bytes.Repeat([]byte("a"), 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k2, bytes.Repeat([]byte("b"), 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, k1+ext)); !os.IsNotExist(err) {
+		t.Errorf("evicted artifact file still on disk: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, k2+ext)); err != nil {
+		t.Errorf("retained artifact file missing: %v", err)
+	}
+}
+
+// TestReopenReindexes checks a fresh Open over an existing directory
+// serves the persisted artifacts — the cross-restart reuse the serving
+// layer is built for.
+func TestReopenReindexes(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("tdv", []byte("soc"), "")
+	want := []byte("report")
+	s1 := open(t, dir, 0, nil)
+	if err := s1.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, 0, nil)
+	got, ok := s2.Get(key)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("reopened Get = %q, %v; want %q, true", got, ok, want)
+	}
+	if s2.Len() != 1 || s2.Bytes() != int64(len(want)) {
+		t.Errorf("reopened index Len=%d Bytes=%d, want 1/%d", s2.Len(), s2.Bytes(), len(want))
+	}
+}
+
+// TestReopenEnforcesBudget checks Open itself evicts when the directory
+// already exceeds the budget.
+func TestReopenEnforcesBudget(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir, 0, nil)
+	for i := 0; i < 5; i++ {
+		if err := s1.Put(Key("k", []byte{byte(i)}, ""), bytes.Repeat([]byte("x"), 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := open(t, dir, 25, nil)
+	if s2.Bytes() > 25 || s2.Len() != 2 {
+		t.Errorf("reopen under budget: Len=%d Bytes=%d, want 2/<=25", s2.Len(), s2.Bytes())
+	}
+}
+
+// TestVanishedFileIsMiss checks an externally deleted artifact degrades to
+// a miss and drops its stale index entry.
+func TestVanishedFileIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0, nil)
+	key := Key("k", []byte("x"), "")
+	if err := s.Put(key, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, key+ext)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get succeeded on a vanished file")
+	}
+	if s.Contains(key) {
+		t.Error("stale index entry survived the miss")
+	}
+}
+
+// TestOverwriteRefreshesSize checks re-putting a key accounts the new size
+// exactly once.
+func TestOverwriteRefreshesSize(t *testing.T) {
+	s := open(t, t.TempDir(), 0, nil)
+	key := Key("k", []byte("x"), "")
+	if err := s.Put(key, bytes.Repeat([]byte("a"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, []byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.Bytes() != 2 {
+		t.Errorf("after overwrite Len=%d Bytes=%d, want 1/2", s.Len(), s.Bytes())
+	}
+}
+
+// TestConcurrentAccess hammers the store from many goroutines under -race:
+// the index, the LRU list and the byte accounting must stay consistent.
+func TestConcurrentAccess(t *testing.T) {
+	s := open(t, t.TempDir(), 500, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := Key("k", []byte(fmt.Sprintf("%d", i%10)), "")
+				if i%3 == 0 {
+					if err := s.Put(key, bytes.Repeat([]byte("x"), 40)); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					s.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Bytes() > 500 {
+		t.Errorf("bytes = %d, over budget after concurrent churn", s.Bytes())
+	}
+}
