@@ -11,7 +11,12 @@
 //	GO002  time.Now / time.Since outside internal/obs and internal/runctl:
 //	       wall-clock reads anywhere else leak nondeterminism into results
 //	       (timestamps in artifacts, time-dependent branches). Timing
-//	       belongs to the observability and run-control layers.
+//	       belongs to the observability and run-control layers. Timer and
+//	       ticker constructors (time.NewTicker, time.Tick, time.After,
+//	       time.NewTimer, time.AfterFunc) fall under the same rule with a
+//	       slightly wider home: internal/srv is additionally allowed,
+//	       because the serving layer's SSE keep-alive ticker paces a wire
+//	       protocol, not a result.
 //	GO003  bare go statement outside internal/par: ad-hoc goroutines
 //	       reorder work nondeterministically; concurrency must go through
 //	       the deterministic parallel-execution layer.
@@ -180,7 +185,17 @@ var globalRandFns = map[string]bool{
 	"Uint32": true, "Uint64": true, "N": true,
 }
 
+// tickerFns are the time functions that schedule future wake-ups. They
+// share GO002's rationale but a wider exemption (scope "GO002-ticker"):
+// the serving layer may pace protocol keep-alives.
+var tickerFns = map[string]bool{
+	"NewTicker": true, "Tick": true, "After": true,
+	"NewTimer": true, "AfterFunc": true,
+}
+
 // exemptions: packages whose whole purpose is the thing the rule bans.
+// The rule here may carry a scope suffix ("GO002-ticker") selecting a
+// wider exemption set than the base rule.
 func exempt(rule, slashPath string) bool {
 	in := func(dir string) bool {
 		return strings.Contains(slashPath, dir+"/") || strings.HasPrefix(slashPath, dir+"/")
@@ -188,6 +203,8 @@ func exempt(rule, slashPath string) bool {
 	switch rule {
 	case "GO002":
 		return in("internal/obs") || in("internal/runctl")
+	case "GO002-ticker":
+		return in("internal/obs") || in("internal/runctl") || in("internal/srv")
 	case "GO003":
 		return in("internal/par")
 	}
@@ -233,11 +250,14 @@ func checkSource(tokens *token.FileSet, path string, src []byte) ([]finding, err
 		if exempt(rule, slash) {
 			return
 		}
+		// The scope suffix ("GO002-ticker") selects the exemption set
+		// above; findings and allow directives use the base rule ID.
+		base, _, _ := strings.Cut(rule, "-")
 		p := tokens.Position(pos)
-		if allowed[p.Line][rule] || allowed[p.Line-1][rule] {
+		if allowed[p.Line][base] || allowed[p.Line-1][base] {
 			return
 		}
-		out = append(out, finding{file: path, line: p.Line, rule: rule, msg: fmt.Sprintf(format, args...)})
+		out = append(out, finding{file: path, line: p.Line, rule: base, msg: fmt.Sprintf(format, args...)})
 	}
 
 	// Resolve the local names of math/rand and time imports; a dot import
@@ -298,6 +318,9 @@ func checkSource(tokens *token.FileSet, path string, src []byte) ([]finding, err
 			case timeName != "" && pkg.Name == timeName && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since"):
 				report(n.Pos(), "GO002",
 					"wall-clock read time.%s outside internal/obs and internal/runctl", sel.Sel.Name)
+			case timeName != "" && pkg.Name == timeName && tickerFns[sel.Sel.Name]:
+				report(n.Pos(), "GO002-ticker",
+					"timer/ticker time.%s outside internal/obs, internal/runctl and internal/srv", sel.Sel.Name)
 			}
 		}
 		return true

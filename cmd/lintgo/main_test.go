@@ -76,6 +76,45 @@ func f(t0 time.Time) float64 { return time.Since(t0).Seconds() }
 	}
 }
 
+func TestGO002TickerFunctions(t *testing.T) {
+	src := `package x
+import "time"
+func f() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-time.After(time.Second)
+}
+`
+	if got := check(t, "internal/atpg/a.go", src); len(got) != 2 || got[0] != "GO002" || got[1] != "GO002" {
+		t.Errorf("findings = %v, want [GO002 GO002]", got)
+	}
+	// The ticker scope is wider than the wall-clock scope: the serving
+	// layer's SSE keep-alive lives in internal/srv legally.
+	for _, p := range []string{"internal/srv/a.go", "internal/obs/a.go", "internal/runctl/a.go"} {
+		if got := check(t, p, src); len(got) != 0 {
+			t.Errorf("%s: exempt package flagged: %v", p, got)
+		}
+	}
+	// But a wall-clock read in internal/srv is still a finding — the
+	// wider scope covers only the ticker constructors.
+	wall := `package x
+import "time"
+var a = time.Now()
+`
+	if got := check(t, "internal/srv/a.go", wall); len(got) != 1 || got[0] != "GO002" {
+		t.Errorf("srv wall-clock findings = %v, want [GO002]", got)
+	}
+	// An allow directive names the base rule, not the scope suffix.
+	allowed := `package x
+import "time"
+// lintgo:allow GO002 protocol pacing
+var c = time.Tick(1)
+`
+	if got := check(t, "internal/atpg/a.go", allowed); len(got) != 0 {
+		t.Errorf("GO002 directive did not cover ticker finding: %v", got)
+	}
+}
+
 func TestGO002LocalVariableNotConfused(t *testing.T) {
 	// A local identifier named "time" is not the package.
 	src := `package x

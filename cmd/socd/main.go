@@ -13,14 +13,25 @@
 //	POST /v1/atpg      {"bench": "..."} or {"standin": "s953"} [+ options]
 //	POST /v1/tdv       {"soc": "..."} or {"builtin": "d695"} [+ tmono]
 //	POST /v1/lint      {"bench": "..."} or {"soc": "..."}
-//	GET  /v1/jobs/{id} status and result of an async job
-//	GET  /healthz      liveness, queue depth, drain state
+//	GET  /v1/jobs/{id} status and result of an async job (with its trace ID)
+//	GET  /v1/jobs/{id}/events  live SSE stream of the job's trace events
+//	GET  /healthz      liveness, queue depth, busy/worker counts, build
+//	                   version, drain state
 //	GET  /metricsz     full metrics snapshot (counters, gauges, histograms
-//	                   with p50/p95/p99)
+//	                   with p50/p95/p99); add ?format=prometheus (or an
+//	                   Accept: text/plain header) for the Prometheus text
+//	                   exposition a scraper consumes
 //
 // Every POST accepts "async": true (202 + job id, poll /v1/jobs/{id}),
 // "priority" (higher runs first), "timeout_ms" (per-job deadline) and
 // "nocache" (force recomputation, skip the store).
+//
+// Every job is traced: admission, queue wait, worker execution and the
+// engine phases share one trace whose IDs are deterministic in the
+// request content and admission order (see internal/obs.NewTrace), so
+// two daemons fed the same request sequence produce identical trace
+// trees. Queue-wait and service-time are recorded as separate
+// per-kind histograms (srv.queuewait.*, srv.service.*).
 //
 // Shutdown: SIGINT or SIGTERM stops accepting work (new submissions get
 // 503), finishes every accepted job, flushes the trace, writes the run
@@ -120,6 +131,7 @@ func run() int {
 		Store:      st,
 		Col:        col,
 		JobTimeout: *jobTimeout,
+		Version:    man.Version, // git describe, surfaced on /healthz
 	})
 
 	ln, err := net.Listen("tcp", *addr)

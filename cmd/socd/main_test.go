@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -375,6 +376,164 @@ func TestHealthzAndDrainRejection(t *testing.T) {
 	}
 	if !strings.Contains(d.output(), "shut down cleanly") {
 		t.Errorf("missing shutdown line:\n%s", d.output())
+	}
+}
+
+// TestEventStreamOverSSE drives the live telemetry path at the process
+// level: an async job is submitted while the single worker is pinned, a
+// client subscribes to /v1/jobs/{id}/events mid-queue, and the stream
+// must replay the buffered admission/queue events then follow the job
+// live through the worker and engine to the terminal done record.
+func TestEventStreamOverSSE(t *testing.T) {
+	bin := buildBinary(t)
+	d := startDaemon(t, bin, "-workers", "1")
+
+	// Pin the worker so the target job demonstrably queues.
+	code, _, body := d.post(t, "/v1/atpg", `{"standin":"s953","async":true,"nocache":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("blocker: %d %s", code, body)
+	}
+	req, _ := json.Marshal(map[string]any{"bench": tinyBench, "async": true, "nocache": true})
+	code, _, body = d.post(t, "/v1/atpg", string(req))
+	if code != http.StatusAccepted {
+		t.Fatalf("target: %d %s", code, body)
+	}
+	var acc struct {
+		Job    string `json:"job"`
+		Trace  string `json:"trace"`
+		Events string `json:"events"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil || acc.Job == "" {
+		t.Fatalf("202 body %q", body)
+	}
+	if acc.Trace == "" || acc.Events != "/v1/jobs/"+acc.Job+"/events" {
+		t.Fatalf("202 trace/events = %q/%q", acc.Trace, acc.Events)
+	}
+
+	resp, err := http.Get(d.base + acc.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	// Read the stream to its done record: ids monotone from 0, every
+	// trace record tied to the job's trace ID, the span tree spanning
+	// admission -> queue -> worker -> engine.
+	var (
+		nextID int64
+		names  []string
+		last   string
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	event, done := "", false
+	for !done && sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			id, perr := strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64)
+			if perr != nil || id != nextID {
+				t.Fatalf("id line %q, want id %d", line, nextID)
+			}
+			nextID++
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &rec); err != nil {
+				t.Fatalf("data not JSON: %v in %q", err, line)
+			}
+			switch event {
+			case "trace":
+				if rec["trace"] != acc.Trace {
+					t.Fatalf("event trace = %v, want %q: %q", rec["trace"], acc.Trace, line)
+				}
+				if sp, _ := rec["span"].(string); sp == "" {
+					t.Fatalf("event without span: %q", line)
+				}
+				name, _ := rec["event"].(string)
+				names = append(names, name)
+			case "done":
+				if rec["job"] != acc.Job || rec["status"] != "done" {
+					t.Fatalf("done record %q", line)
+				}
+				done = true
+			case "gap":
+				t.Fatalf("unexpected gap with the default ring size: %q", line)
+			}
+			last = event
+		}
+	}
+	if !done {
+		t.Fatalf("stream ended without done record (read %d events): %v", nextID, sc.Err())
+	}
+	if last != "done" {
+		t.Errorf("last record = %q, want done", last)
+	}
+	if len(names) == 0 || names[0] != "srv.admit" {
+		t.Fatalf("first event = %v, want srv.admit", names)
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, want := range []string{"srv.admit", "srv.queue.begin", "srv.queue.end", "srv.job.begin", "atpg.generate.begin", "atpg.generate.end", "srv.job.end"} {
+		if !seen[want] {
+			t.Errorf("stream missing %q; got %v", want, names)
+		}
+	}
+}
+
+// TestHealthzReportsBuildInfo checks the extended health payload at the
+// process level: build version (git describe), worker capacity, busy
+// count and the Go runtime version.
+func TestHealthzReportsBuildInfo(t *testing.T) {
+	bin := buildBinary(t)
+	d := startDaemon(t, bin, "-workers", "2")
+
+	resp, err := http.Get(d.base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		OK      bool   `json:"ok"`
+		Workers int    `json:"workers"`
+		Busy    int    `json:"busy"`
+		Queued  int    `json:"queued"`
+		Version string `json:"version"`
+		Go      string `json:"go"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if !hz.OK || hz.Workers != 2 {
+		t.Errorf("healthz = %+v", hz)
+	}
+	if hz.Version == "" {
+		t.Error("healthz version empty; want git describe or dev")
+	}
+	if !strings.HasPrefix(hz.Go, "go") {
+		t.Errorf("healthz go = %q", hz.Go)
+	}
+
+	// The Prometheus exposition is live on the same daemon.
+	presp, err := http.Get(d.base + "/metricsz?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	prom, err := io.ReadAll(presp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# TYPE repro_srv_workers gauge", "repro_srv_workers 2"} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("prometheus exposition missing %q:\n%s", want, prom)
+		}
 	}
 }
 

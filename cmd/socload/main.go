@@ -1,0 +1,417 @@
+// socload replays a Zipf-distributed mix of ATPG, TDV and lint requests
+// against a live socd daemon and writes the serving measurements as
+// machine-readable JSON (BENCH_serving.json by default).
+//
+// Like benchjson, it verifies before it measures: every catalog entry is
+// first issued twice and the two responses must be byte-identical (the
+// serving layer's warm-equals-cold contract), or the program exits 1
+// without writing numbers — a throughput measured on divergent output is
+// meaningless. The verification pass doubles as a cache warm-up, so the
+// timed run exercises the realistic steady state: mostly warm hits with
+// a deterministic fraction of nocache requests forcing full queue +
+// worker executions.
+//
+// The workload is deterministic in -seed: each worker draws catalog
+// indices from its own seeded Zipf source, so two runs against identical
+// daemons issue the same request mix. Client-side end-to-end latency is
+// measured per kind (p50/p95/p99); server-side queue-wait and
+// service-time quantiles are read back from /metricsz after the run.
+//
+// Usage:
+//
+//	socload -addr 127.0.0.1:8089 [-concurrency 4] [-duration 10s]
+//	        [-seed 1] [-zipf 1.3] [-o BENCH_serving.json]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/runctl"
+)
+
+const prog = "socload"
+
+// call is one catalog entry: a request the load mix draws from.
+type call struct {
+	name string // label in diagnostics
+	kind string // "atpg", "tdv", "lint" — the histogram the server files it under
+	path string
+	body string
+}
+
+// tinyAnd and tinyMux are small inline netlists: their ATPG runs are
+// milliseconds, so they model the short-job end of the mix while the
+// s713 stand-in models the heavy tail.
+const tinyAnd = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"
+const tinyMux = "INPUT(s)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\nns = NOT(s)\nta = AND(a, ns)\ntb = AND(b, s)\ny = OR(ta, tb)\n"
+
+// catalog is the request mix, hot-first: the Zipf draw makes entry 0 the
+// most frequent, so the cheap TDV builtins dominate and the heavy ATPG
+// stand-in is the rare tail — the shape of real fleet traffic.
+var catalog = []call{
+	{name: "tdv/d695", kind: "tdv", path: "/v1/tdv", body: `{"builtin":"d695"}`},
+	{name: "lint/bench", kind: "lint", path: "/v1/lint", body: fmt.Sprintf(`{"bench":%q}`, tinyAnd)},
+	{name: "tdv/g1023", kind: "tdv", path: "/v1/tdv", body: `{"builtin":"g1023"}`},
+	{name: "atpg/tiny-and", kind: "atpg", path: "/v1/atpg", body: fmt.Sprintf(`{"bench":%q}`, tinyAnd)},
+	{name: "tdv/p22810", kind: "tdv", path: "/v1/tdv", body: `{"builtin":"p22810"}`},
+	{name: "atpg/tiny-mux", kind: "atpg", path: "/v1/atpg", body: fmt.Sprintf(`{"bench":%q}`, tinyMux)},
+	{name: "tdv/p93791", kind: "tdv", path: "/v1/tdv", body: `{"builtin":"p93791"}`},
+	{name: "atpg/s713", kind: "atpg", path: "/v1/atpg", body: `{"standin":"s713"}`},
+}
+
+// kindStats is the per-kind client-side latency summary.
+type kindStats struct {
+	Requests int     `json:"requests"`
+	CacheHit int     `json:"cache_hits"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// serverHist is a server-side histogram read back from /metricsz.
+type serverHist struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+type report struct {
+	Host struct {
+		CPUs       int    `json:"cpus"`
+		GoMaxProcs int    `json:"gomaxprocs"`
+		GoVersion  string `json:"go_version"`
+	} `json:"host"`
+	Config struct {
+		Addr        string  `json:"addr"`
+		Concurrency int     `json:"concurrency"`
+		DurationSec float64 `json:"duration_sec"`
+		Seed        int64   `json:"seed"`
+		ZipfS       float64 `json:"zipf_s"`
+		Catalog     int     `json:"catalog_size"`
+		NocacheOdds int     `json:"nocache_one_in"`
+	} `json:"config"`
+	Server struct {
+		Version string `json:"version"`
+	} `json:"server"`
+	Totals struct {
+		Requests      int     `json:"requests"`
+		Errors        int     `json:"errors"`
+		ElapsedSec    float64 `json:"elapsed_sec"`
+		ThroughputRPS float64 `json:"throughput_rps"`
+		CacheHits     int     `json:"cache_hits"`
+		CacheHitRatio float64 `json:"cache_hit_ratio"`
+	} `json:"totals"`
+	Kinds     map[string]kindStats  `json:"kinds"`
+	QueueWait map[string]serverHist `json:"server_queuewait"`
+	Service   map[string]serverHist `json:"server_service"`
+}
+
+// sample is one completed request as a worker records it.
+type sample struct {
+	kind string
+	dur  time.Duration
+	hit  bool
+}
+
+// workerOut is one worker's private result slot — no locks, merged after
+// the pool drains.
+type workerOut struct {
+	samples []sample
+	errors  int
+}
+
+// nocacheOneIn is the deterministic fraction of requests issued with
+// "nocache": true, forcing the full queue + worker path so the timed run
+// measures service time, not only the warm cache shortcut.
+const nocacheOneIn = 8
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr        = flag.String("addr", "", "daemon address (host:port, required)")
+		concurrency = flag.Int("concurrency", 4, "concurrent client workers")
+		duration    = flag.Duration("duration", 10*time.Second, "timed run length")
+		seed        = flag.Int64("seed", 1, "workload seed; same seed = same request mix")
+		zipfS       = flag.Float64("zipf", 1.3, "Zipf skew s (>1); larger = hotter head")
+		out         = flag.String("o", "BENCH_serving.json", "output `file` for the JSON report")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cli.Errorf(prog, "unexpected argument %q; see -help", flag.Arg(0))
+		return cli.ExitUsage
+	}
+	if *addr == "" {
+		cli.Errorf(prog, "-addr is required (a running socd, e.g. 127.0.0.1:8089)")
+		return cli.ExitUsage
+	}
+	if *zipfS <= 1 {
+		cli.Errorf(prog, "-zipf must be > 1 (got %g)", *zipfS)
+		return cli.ExitUsage
+	}
+	if *concurrency < 1 {
+		cli.Errorf(prog, "-concurrency must be >= 1")
+		return cli.ExitUsage
+	}
+	base := "http://" + *addr
+
+	var rep report
+	rep.Host.CPUs = runtime.NumCPU()
+	rep.Host.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.Host.GoVersion = runtime.Version()
+	rep.Config.Addr = *addr
+	rep.Config.Concurrency = *concurrency
+	rep.Config.DurationSec = duration.Seconds()
+	rep.Config.Seed = *seed
+	rep.Config.ZipfS = *zipfS
+	rep.Config.Catalog = len(catalog)
+	rep.Config.NocacheOdds = nocacheOneIn
+
+	// The daemon must be up and healthy before anything is measured.
+	version, err := health(base)
+	if err != nil {
+		cli.Errorf(prog, "daemon not healthy at %s: %v", *addr, err)
+		return cli.ExitRuntime
+	}
+	rep.Server.Version = version
+
+	// Verify-then-measure: every catalog entry twice, byte-identical, or
+	// no numbers at all. This also warms the daemon's cache.
+	for _, c := range catalog {
+		first, _, err := post(context.Background(), base, c, false)
+		if err != nil {
+			cli.Errorf(prog, "verify %s: %v", c.name, err)
+			return cli.ExitRuntime
+		}
+		second, _, err := post(context.Background(), base, c, false)
+		if err != nil {
+			cli.Errorf(prog, "verify %s (rerun): %v", c.name, err)
+			return cli.ExitRuntime
+		}
+		if !bytes.Equal(first, second) {
+			cli.Errorf(prog, "verify %s: warm response diverges from cold — refusing to measure", c.name)
+			return cli.ExitRuntime
+		}
+	}
+	fmt.Printf("%s: verified %d catalog entries warm==cold, starting %s run\n",
+		prog, len(catalog), duration)
+
+	// Timed run: the wall clock lives in obs (the repo's GO002 rule), so
+	// the elapsed time is an obs span around the pool.
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	outs := make([]workerOut, *concurrency)
+	clock := obs.New(nil, nil)
+	wall := clock.StartSpan("socload.run")
+	pool := par.StartPool(*concurrency, func(id int) {
+		outs[id] = loadWorker(ctx, base, *seed, id, *zipfS)
+	})
+	pool.Wait()
+	elapsed := wall.End()
+
+	// Merge the per-worker slots.
+	byKind := map[string][]time.Duration{}
+	for _, o := range outs {
+		rep.Totals.Errors += o.errors
+		for _, s := range o.samples {
+			rep.Totals.Requests++
+			if s.hit {
+				rep.Totals.CacheHits++
+			}
+			byKind[s.kind] = append(byKind[s.kind], s.dur)
+		}
+	}
+	if rep.Totals.Requests == 0 {
+		cli.Errorf(prog, "zero successful requests in %s — nothing to report", elapsed)
+		return cli.ExitRuntime
+	}
+	rep.Totals.ElapsedSec = round3(elapsed.Seconds())
+	rep.Totals.ThroughputRPS = round2(float64(rep.Totals.Requests) / elapsed.Seconds())
+	rep.Totals.CacheHitRatio = round3(float64(rep.Totals.CacheHits) / float64(rep.Totals.Requests))
+
+	rep.Kinds = map[string]kindStats{}
+	hitsByKind := map[string]int{}
+	for _, o := range outs {
+		for _, s := range o.samples {
+			if s.hit {
+				hitsByKind[s.kind]++
+			}
+		}
+	}
+	for kind, durs := range byKind {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		rep.Kinds[kind] = kindStats{
+			Requests: len(durs),
+			CacheHit: hitsByKind[kind],
+			P50Ms:    ms(quantileDur(durs, 0.50)),
+			P95Ms:    ms(quantileDur(durs, 0.95)),
+			P99Ms:    ms(quantileDur(durs, 0.99)),
+			MaxMs:    ms(durs[len(durs)-1]),
+		}
+	}
+
+	// Server-side queue-wait and service-time quantiles, straight from the
+	// daemon's own histograms.
+	rep.QueueWait, rep.Service, err = serverHistograms(base)
+	if err != nil {
+		cli.Errorf(prog, "reading /metricsz after the run: %v", err)
+		return cli.ExitRuntime
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		cli.Errorf(prog, "encode: %v", err)
+		return cli.ExitRuntime
+	}
+	if err := runctl.WriteFileAtomic(*out, buf.Bytes()); err != nil {
+		cli.Errorf(prog, "%v", err)
+		return cli.ExitRuntime
+	}
+	fmt.Printf("%s: wrote %s (%d requests, %.1f req/s, %.1f%% cache hits, %d errors)\n",
+		prog, *out, rep.Totals.Requests, rep.Totals.ThroughputRPS,
+		100*rep.Totals.CacheHitRatio, rep.Totals.Errors)
+	return 0
+}
+
+// loadWorker is one client: a private seeded Zipf source over the
+// catalog, issuing requests until the deadline. Request latency is
+// measured with an obs span (obs owns the wall clock).
+func loadWorker(ctx context.Context, base string, seed int64, id int, zipfS float64) workerOut {
+	var o workerOut
+	r := rand.New(rand.NewSource(seed + int64(id)*7919))
+	zipf := rand.NewZipf(r, zipfS, 1, uint64(len(catalog)-1))
+	clock := obs.New(nil, nil)
+	for ctx.Err() == nil {
+		c := catalog[zipf.Uint64()]
+		nocache := r.Intn(nocacheOneIn) == 0
+		span := clock.StartSpan("req")
+		body, hit, err := post(ctx, base, c, nocache)
+		d := span.End()
+		if err != nil {
+			if ctx.Err() != nil {
+				break // deadline cut the request short; not a failure
+			}
+			o.errors++
+			continue
+		}
+		if len(body) == 0 {
+			o.errors++
+			continue
+		}
+		o.samples = append(o.samples, sample{kind: c.kind, dur: d, hit: hit})
+	}
+	return o
+}
+
+// post issues one synchronous request and returns the artifact bytes and
+// whether the daemon served it from its store.
+func post(ctx context.Context, base string, c call, nocache bool) (body []byte, cacheHit bool, err error) {
+	reqBody := c.body
+	if nocache {
+		reqBody = strings.TrimSuffix(reqBody, "}") + `,"nocache":true}`
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+c.path, strings.NewReader(reqBody))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("%s: %d %s", c.path, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return data, resp.Header.Get("X-Cache") == "hit", nil
+}
+
+// health checks /healthz and returns the daemon's build version.
+func health(base string) (string, error) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		OK      bool   `json:"ok"`
+		Version string `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		return "", err
+	}
+	if !hz.OK {
+		return hz.Version, fmt.Errorf("daemon reports not ok (draining?)")
+	}
+	return hz.Version, nil
+}
+
+// serverHistograms reads /metricsz and extracts the per-kind queue-wait
+// and service-time quantiles the server measured for itself.
+func serverHistograms(base string) (queuewait, service map[string]serverHist, err error) {
+	resp, err := http.Get(base + "/metricsz")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, nil, err
+	}
+	queuewait, service = map[string]serverHist{}, map[string]serverHist{}
+	for name, h := range snap.Histograms {
+		var dst map[string]serverHist
+		var kind string
+		switch {
+		case strings.HasPrefix(name, "srv.queuewait."):
+			dst, kind = queuewait, strings.TrimPrefix(name, "srv.queuewait.")
+		case strings.HasPrefix(name, "srv.service."):
+			dst, kind = service, strings.TrimPrefix(name, "srv.service.")
+		default:
+			continue
+		}
+		dst[kind] = serverHist{
+			Count: h.Count,
+			P50Ms: round3(1000 * h.P50),
+			P95Ms: round3(1000 * h.P95),
+			P99Ms: round3(1000 * h.P99),
+		}
+	}
+	return queuewait, service, nil
+}
+
+// quantileDur picks the q-th quantile of an ascending-sorted slice.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return round3(float64(d.Microseconds()) / 1000) }
+func round2(v float64) float64   { return float64(int64(v*100+0.5)) / 100 }
+func round3(v float64) float64   { return float64(int64(v*1000+0.5)) / 1000 }

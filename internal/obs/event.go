@@ -58,7 +58,20 @@ func (s *JSONLSink) Emit(e Event) {
 	if s.err != nil {
 		return
 	}
-	b := s.buf[:0]
+	b := e.AppendJSON(s.buf[:0])
+	b = append(b, '\n')
+	s.buf = b
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// AppendJSON appends the event's single-line JSON object encoding — the
+// exact bytes a JSONLSink would write, minus the trailing newline — to b
+// and returns the extended buffer. It exists so other renderings of the
+// trace (the SSE job-event stream, per-job ring buffers) are byte-aligned
+// with the JSONL trace file.
+func (e Event) AppendJSON(b []byte) []byte {
 	b = append(b, `{"ts":"`...)
 	b = e.Time.UTC().AppendFormat(b, time.RFC3339Nano)
 	b = append(b, `","event":`...)
@@ -69,11 +82,7 @@ func (s *JSONLSink) Emit(e Event) {
 		b = append(b, ':')
 		b = appendJSONValue(b, f.Value)
 	}
-	b = append(b, '}', '\n')
-	s.buf = b
-	if _, err := s.w.Write(b); err != nil {
-		s.err = err
-	}
+	return append(b, '}')
 }
 
 // Err returns the first write error, if any.

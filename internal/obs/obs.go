@@ -86,6 +86,16 @@ func (c *Collector) Histogram(name string, bounds ...float64) *Histogram {
 // guard per-event emission on hot paths.
 func (c *Collector) Tracing() bool { return c != nil && c.sink != nil }
 
+// Sink returns the attached trace sink (nil when disabled). Serving
+// layers use it to compose per-job sinks — a ring buffer fanned in next
+// to the process-wide trace — without losing the original destination.
+func (c *Collector) Sink() Sink {
+	if c == nil {
+		return nil
+	}
+	return c.sink
+}
+
 // Emit sends one event to the trace sink, stamping the current time.
 func (c *Collector) Emit(name string, fields ...Field) {
 	if !c.Tracing() {

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (text/plain; version=0.0.4), the scrape-ready sibling of the
+// JSON snapshot:
+//
+//   - counters become "<ns>_<name>_total" counter series;
+//   - gauges become "<ns>_<name>" gauge series;
+//   - timers become "<ns>_<name>_seconds" summaries (count and sum) plus
+//     a "<ns>_<name>_seconds_max" gauge;
+//   - histograms become native Prometheus histograms: cumulative
+//     "_bucket{le="..."}" series per bound, an le="+Inf" bucket, _sum and
+//     _count.
+//
+// Metric names are sanitized (dots and other illegal characters map to
+// "_") and emitted in sorted order, so the exposition is deterministic
+// for a given snapshot and greppable in CI without promtool.
+func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
+	var names []string
+
+	names = names[:0]
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		metric := promName(namespace, name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", metric, metric, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		metric := promName(namespace, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", metric, metric, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Timers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := s.Timers[name]
+		metric := promName(namespace, name) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n%s_count %d\n%s_sum %s\n# TYPE %s_max gauge\n%s_max %s\n",
+			metric, metric, t.Count, metric, promFloat(t.TotalSec),
+			metric, metric, promFloat(t.MaxSec)); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		metric := promName(namespace, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", metric); err != nil {
+			return err
+		}
+		var cum int64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", metric, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			metric, h.Count, metric, promFloat(h.Sum), metric, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName joins the namespace and metric name into a legal Prometheus
+// metric name: [a-zA-Z0-9_:], everything else becomes "_".
+func promName(namespace, name string) string {
+	full := name
+	if namespace != "" {
+		full = namespace + "_" + name
+	}
+	var b strings.Builder
+	b.Grow(len(full))
+	for i, r := range full {
+		legal := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if legal {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects: shortest exact
+// decimal form.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusExposition checks each instrument family renders in
+// the scrape format: typed headers, sanitized names, cumulative buckets.
+func TestWritePrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("srv.jobs.executed").Add(3)
+	r.Gauge("srv.queue.depth").Set(2)
+	r.Timer("srv.job").Observe(250 * time.Millisecond)
+	h := r.Histogram("srv.latency.atpg", 0.1, 1, 10)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(50) // overflow bucket
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b, "repro"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE repro_srv_jobs_executed_total counter",
+		"repro_srv_jobs_executed_total 3",
+		"# TYPE repro_srv_queue_depth gauge",
+		"repro_srv_queue_depth 2",
+		"# TYPE repro_srv_job_seconds summary",
+		"repro_srv_job_seconds_count 1",
+		"repro_srv_job_seconds_sum 0.25",
+		"repro_srv_job_seconds_max 0.25",
+		"# TYPE repro_srv_latency_atpg histogram",
+		`repro_srv_latency_atpg_bucket{le="0.1"} 1`,
+		`repro_srv_latency_atpg_bucket{le="1"} 2`,
+		`repro_srv_latency_atpg_bucket{le="10"} 2`,
+		`repro_srv_latency_atpg_bucket{le="+Inf"} 3`,
+		"repro_srv_latency_atpg_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusDeterministicOrder checks two renderings of the same
+// snapshot are byte-identical — metrics emit in sorted name order.
+func TestWritePrometheusDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"b.z", "a.y", "c.x"} {
+		r.Counter(name).Inc()
+		r.Gauge("g." + name).Set(1)
+	}
+	snap := r.Snapshot()
+	var first, second strings.Builder
+	if err := snap.WritePrometheus(&first, "n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WritePrometheus(&second, "n"); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("renderings differ:\n%s\n---\n%s", first.String(), second.String())
+	}
+	if !strings.Contains(first.String(), "n_a_y_total") {
+		t.Errorf("name not sanitized: %s", first.String())
+	}
+}
+
+// TestPromNameSanitization checks illegal characters collapse to "_" and
+// a leading digit is escaped.
+func TestPromNameSanitization(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"srv.latency.atpg", "ns_srv_latency_atpg"},
+		{"weird-name/with spaces", "ns_weird_name_with_spaces"},
+		{"ok_name:colon", "ns_ok_name:colon"},
+	} {
+		if got := promName("ns", tc.in); got != tc.want {
+			t.Errorf("promName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if got := promName("", "9starts.with.digit"); got != "_starts_with_digit" {
+		t.Errorf("leading digit not escaped: %q", got)
+	}
+}

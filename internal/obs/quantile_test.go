@@ -69,6 +69,61 @@ func TestQuantileEmpty(t *testing.T) {
 	}
 }
 
+// TestQuantileSingleObservation is the single-sample regression: every
+// quantile of a one-observation histogram is exactly that observation —
+// finite and well-defined — wherever the observation lands: mid-bucket,
+// exactly on a bound, in the first bucket, or in the overflow bucket.
+func TestQuantileSingleObservation(t *testing.T) {
+	for _, v := range []float64{0, 5, 10, 55, 1000} { // bounds are 10, 100
+		h := NewHistogram(10, 100)
+		h.Observe(v)
+		s := h.Stats()
+		for _, q := range []float64{0, 0.01, 0.5, 0.95, 0.99, 1} {
+			got := s.Quantile(q)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("Observe(%g): Quantile(%g) = %g, not finite", v, q, got)
+			}
+			if got != v {
+				t.Errorf("Observe(%g): Quantile(%g) = %g, want the single observation", v, q, got)
+			}
+		}
+		if s.P50 != v || s.P95 != v || s.P99 != v {
+			t.Errorf("Observe(%g): P50/P95/P99 = %g/%g/%g, want all %g", v, s.P50, s.P95, s.P99, v)
+		}
+	}
+}
+
+// TestQuantileAllEqualObservations checks a constant stream — Min == Max
+// with Count > 1 — reports that constant for every quantile instead of
+// interpolating across a zero-width interval.
+func TestQuantileAllEqualObservations(t *testing.T) {
+	h := NewHistogram(10, 100)
+	for i := 0; i < 50; i++ {
+		h.Observe(42)
+	}
+	s := h.Stats()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%g) = %g, want 42", q, got)
+		}
+	}
+}
+
+// TestQuantileNaNArgument checks a NaN q degrades to the observed minimum
+// instead of propagating NaN through the interpolation.
+func TestQuantileNaNArgument(t *testing.T) {
+	h := NewHistogram(10, 100)
+	h.Observe(5)
+	h.Observe(50)
+	if got := h.Stats().Quantile(math.NaN()); math.IsNaN(got) {
+		t.Error("Quantile(NaN) returned NaN")
+	}
+	var empty HistogramStats
+	if got := empty.Quantile(math.NaN()); got != 0 {
+		t.Errorf("empty Quantile(NaN) = %g, want 0", got)
+	}
+}
+
 // TestQuantilesRenderEverywhere checks both renderings of a snapshot — the
 // -metrics text block and the JSON the manifest/JSONL sink embeds — carry
 // the quantile summaries.

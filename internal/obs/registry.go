@@ -66,6 +66,15 @@ func (g *Gauge) Set(n int64) {
 	g.v.Store(n)
 }
 
+// Add shifts the value by n (negative to decrement), for gauges tracking
+// a level — queue depth, busy workers — rather than a sampled reading.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
 // Value returns the last set value (0 for a nil gauge).
 func (g *Gauge) Value() int64 {
 	if g == nil {
@@ -213,12 +222,21 @@ func (s HistogramStats) Mean() float64 {
 // by linear interpolation inside the bucket holding the target rank — the
 // usual histogram-quantile estimate. The tracked Min and Max bound the
 // first bucket, the overflow bucket and the returned value, so estimates
-// never stray outside the observed range. An empty snapshot returns 0.
+// never stray outside the observed range. Every input yields a finite,
+// well-defined value: an empty snapshot returns 0, a single observation
+// (or any all-equal stream) returns that value exactly for every q, and
+// a NaN q clamps to Min rather than poisoning the interpolation.
 func (s HistogramStats) Quantile(q float64) float64 {
 	if s.Count == 0 {
 		return 0
 	}
-	if q <= 0 {
+	if s.Min == s.Max {
+		// One observation, or many equal ones: every quantile IS that
+		// value. Answering exactly also sidesteps the degenerate
+		// zero-width interpolation interval.
+		return s.Min
+	}
+	if q <= 0 || math.IsNaN(q) {
 		return s.Min
 	}
 	if q >= 1 {

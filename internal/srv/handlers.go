@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
 	"time"
 
@@ -15,6 +16,8 @@ import (
 	"repro/internal/itc02"
 	"repro/internal/lint"
 	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/runctl"
 	"repro/internal/store"
 )
@@ -23,14 +26,18 @@ import (
 // full .bench netlist, comfortably under this.
 const maxBodyBytes = 16 << 20
 
-// work is a parsed, canonicalized request ready for submission.
+// work is a parsed, canonicalized request ready for submission. The run
+// closure receives the worker's trace-annotated collector: engine events
+// emitted through it carry the job's trace/span identity, and the ctx
+// carries the same obs.TraceContext for code that wants it directly.
 type work struct {
 	kind     string
+	circuit  string // short workload label ("s713", "d695", "bench", ...)
 	key      string
 	priority int
 	timeout  time.Duration
 	nocache  bool
-	run      func(ctx context.Context) ([]byte, error)
+	run      func(ctx context.Context, col *obs.Collector) ([]byte, error)
 }
 
 // submitCommon is the request envelope every POST endpoint shares.
@@ -146,17 +153,20 @@ func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := req.Options.buildOptions()
-	opts.Obs = s.col
 	// The content address binds the canonical circuit structure to every
 	// option that steers the search — the same fingerprint checkpoints
 	// use — so formatting differences or a changed seed never alias.
+	// (opts.Obs is set per run and deliberately excluded from the hash.)
 	canon := netlist.BenchString(c)
 	key := store.Key("atpg", []byte(canon), atpg.OptionsHash(c, atpg.NumFaultsFor(c), opts))
 	wk := work{
-		kind: "atpg",
-		key:  key,
-		run: func(ctx context.Context) ([]byte, error) {
-			res, rerr := atpg.GenerateContext(ctx, c, opts)
+		kind:    "atpg",
+		circuit: c.Name,
+		key:     key,
+		run: func(ctx context.Context, col *obs.Collector) ([]byte, error) {
+			o := opts
+			o.Obs = col // engine phase events inherit the job's trace identity
+			res, rerr := atpg.GenerateContext(ctx, c, o)
 			if rerr != nil {
 				return nil, rerr
 			}
@@ -209,10 +219,13 @@ func (s *Server) handleTDV(w http.ResponseWriter, r *http.Request) {
 	// Canonicalizing after the override folds tmono into the address.
 	canon := itc02.SOCString(soc)
 	wk := work{
-		kind: "tdv",
-		key:  store.Key("tdv", []byte(canon), "v1"),
-		run: func(ctx context.Context) ([]byte, error) {
+		kind:    "tdv",
+		circuit: soc.Name,
+		key:     store.Key("tdv", []byte(canon), "v1"),
+		run: func(ctx context.Context, col *obs.Collector) ([]byte, error) {
+			span := col.StartSpan("tdv.analyze", obs.F("soc", soc.Name))
 			rep := soc.Analyze()
+			span.End(obs.F("modules", len(soc.Modules())))
 			b, merr := json.Marshal(rep)
 			if merr != nil {
 				return nil, merr
@@ -273,15 +286,18 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wk := work{
-		kind: "lint",
-		key:  store.Key("lint", []byte(src), mode),
-		run: func(ctx context.Context) ([]byte, error) {
+		kind:    "lint",
+		circuit: mode,
+		key:     store.Key("lint", []byte(src), mode),
+		run: func(ctx context.Context, col *obs.Collector) ([]byte, error) {
+			span := col.StartSpan("lint.check", obs.F("mode", mode))
 			var rep *lint.Report
 			if mode == "bench" {
 				rep = lint.CheckBench("request.bench", src, lint.DefaultOptions())
 			} else {
 				rep = lint.CheckSOCSource("request.soc", src)
 			}
+			span.End(obs.F("diags", len(rep.Diags)))
 			rep.Sort()
 			art := lintArtifact{
 				Errors:   rep.Count(lint.Error),
@@ -317,6 +333,8 @@ type jobStatus struct {
 	Job       string          `json:"job"`
 	Kind      string          `json:"kind"`
 	Status    string          `json:"status"`
+	Trace     string          `json:"trace,omitempty"` // deterministic trace ID (see obs.NewTrace)
+	Events    string          `json:"events,omitempty"`
 	Cache     string          `json:"cache,omitempty"` // "hit" when served from the store
 	Coalesced int64           `json:"coalesced,omitempty"`
 	Error     string          `json:"error,omitempty"`
@@ -330,7 +348,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	state, result, err, cached, coalesced := j.snapshot()
-	st := jobStatus{Job: j.id, Kind: j.kind, Status: state.String(), Coalesced: coalesced}
+	st := jobStatus{
+		Job: j.id, Kind: j.kind, Status: state.String(),
+		Trace: j.tc.Trace, Events: "/v1/jobs/" + j.id + "/events",
+		Coalesced: coalesced,
+	}
 	if cached {
 		st.Cache = "hit"
 	}
@@ -344,15 +366,34 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	version := s.cfg.Version
+	if version == "" {
+		version = "dev"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":       !s.Draining(),
 		"queued":   s.Queued(),
+		"busy":     s.Busy(),
+		"workers":  par.Workers(s.cfg.Workers),
 		"draining": s.Draining(),
+		"version":  version,
+		"go":       runtime.Version(),
 	})
 }
 
+// handleMetricsz serves the snapshot as JSON by default, or in the
+// Prometheus text exposition format when asked — either explicitly
+// (?format=prometheus) or via content negotiation (Accept: text/plain,
+// what a Prometheus scraper sends).
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	snap := s.col.Metrics().Snapshot()
+	if r.URL.Query().Get("format") == "prometheus" ||
+		strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		snap.WritePrometheus(w, "repro")
+		return
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -373,7 +414,11 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, wk work, async
 	}
 	if async {
 		w.Header().Set("Location", "/v1/jobs/"+j.id)
-		writeJSON(w, http.StatusAccepted, map[string]string{"job": j.id, "status": "queued"})
+		writeJSON(w, http.StatusAccepted, map[string]string{
+			"job": j.id, "status": "queued",
+			"trace":  j.tc.Trace,
+			"events": "/v1/jobs/" + j.id + "/events",
+		})
 		return
 	}
 	select {

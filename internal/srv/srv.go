@@ -33,7 +33,9 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -60,6 +62,14 @@ type Config struct {
 	// JobHistory is how many completed jobs stay queryable via
 	// /v1/jobs/{id}; 0 means the default of 512.
 	JobHistory int
+	// Version is the build identifier /healthz reports ("" = "dev").
+	Version string
+	// EventBuffer caps the per-job trace event ring behind the SSE
+	// stream (GET /v1/jobs/{id}/events); 0 means the default of 256.
+	EventBuffer int
+	// SSEKeepAlive is the comment interval keeping idle SSE streams
+	// alive through proxies; 0 means the default of 15s.
+	SSEKeepAlive time.Duration
 }
 
 // jobState is the lifecycle of a job as /v1/jobs reports it.
@@ -91,11 +101,23 @@ func (s jobState) String() string {
 type job struct {
 	id       string
 	kind     string // "atpg", "tdv", "lint"
+	circuit  string // short workload label for trace events and pprof labels
 	key      string // content address; "" = uncacheable
 	priority int
 	seq      int64
 	timeout  time.Duration
-	run      func(ctx context.Context) ([]byte, error)
+	run      func(ctx context.Context, col *obs.Collector) ([]byte, error)
+
+	// Request-scoped tracing: tc is the job's root trace identity
+	// (deterministic in (kind, key, admission seq) — see obs.NewTrace),
+	// sink fans every span event into the SSE ring and, when the daemon
+	// has a -trace file, the process-wide sink too. queueSpan opens at
+	// admission and closes at dequeue, making queue-wait a first-class
+	// measurement distinct from service time.
+	tc        obs.TraceContext
+	events    *eventBuf
+	sink      obs.Sink
+	queueSpan *obs.Span
 
 	done chan struct{} // closed exactly once, after the fields below are final
 
@@ -149,12 +171,15 @@ type Server struct {
 	jobOrder []string        // completion-retention ring
 	inflight map[string]*job // by key: queued or running, coalescing target
 
+	busy atomic.Int64 // workers currently executing a job
+
 	cEnqueued  *obs.Counter
 	cExecuted  *obs.Counter
 	cCoalesced *obs.Counter
 	cFailed    *obs.Counter
 	cCacheHits *obs.Counter // served from the store without queueing
 	cRejected  *obs.Counter
+	gBusy      *obs.Gauge
 }
 
 // New builds the server and starts its worker pool. Call Drain to stop.
@@ -164,6 +189,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.JobHistory <= 0 {
 		cfg.JobHistory = 512
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 256
+	}
+	if cfg.SSEKeepAlive <= 0 {
+		cfg.SSEKeepAlive = 15 * time.Second
 	}
 	s := &Server{
 		cfg:        cfg,
@@ -177,6 +208,7 @@ func New(cfg Config) *Server {
 		cFailed:    cfg.Col.Counter("srv.jobs.failed"),
 		cCacheHits: cfg.Col.Counter("srv.cache.served"),
 		cRejected:  cfg.Col.Counter("srv.queue.rejected"),
+		gBusy:      cfg.Col.Gauge("srv.workers.busy"),
 	}
 	s.queue = newJobQueue(cfg.QueueSize, cfg.Col.Gauge("srv.queue.depth"))
 	s.col.Gauge("srv.workers").Set(int64(par.Workers(cfg.Workers)))
@@ -224,15 +256,29 @@ func (s *Server) submit(wk work) (j *job, cachedArtifact []byte, err error) {
 	j = &job{
 		id:       fmt.Sprintf("j%d", s.seq),
 		kind:     wk.kind,
+		circuit:  wk.circuit,
 		key:      wk.key,
 		priority: wk.priority,
 		seq:      s.seq,
 		timeout:  wk.timeout,
 		run:      wk.run,
+		events:   newEventBuf(s.cfg.EventBuffer),
 		done:     make(chan struct{}),
 	}
 	if wk.nocache {
 		j.key = "" // never store or coalesce an explicitly uncached run
+	}
+	// The trace identity is a pure function of the content address and the
+	// admission sequence number: two daemons fed the same request sequence
+	// mint identical trace/span IDs (no wall clock, no randomness).
+	traceKey := wk.key
+	if traceKey == "" {
+		traceKey = j.id
+	}
+	j.tc = obs.NewTrace(wk.kind+"\x00"+traceKey, s.seq)
+	j.sink = obs.Sink(j.events)
+	if base := s.col.Sink(); base != nil {
+		j.sink = obs.MultiSink{j.events, base}
 	}
 	s.jobs[j.id] = j
 	s.retainLocked(j.id)
@@ -241,6 +287,15 @@ func (s *Server) submit(wk work) (j *job, cachedArtifact []byte, err error) {
 	}
 	s.mu.Unlock()
 
+	// Admission event on the root span, then the queue span opens as a
+	// child: it closes at dequeue, so its duration IS the queue wait.
+	rootCol := obs.New(s.col.Metrics(), obs.AnnotateTrace(j.sink, j.tc))
+	rootCol.Emit("srv.admit",
+		obs.F("job", j.id), obs.F("kind", j.kind), obs.F("circuit", j.circuit),
+		obs.F("key", short(j.key)), obs.F("priority", j.priority))
+	queueCol := obs.New(s.col.Metrics(), obs.AnnotateTrace(j.sink, j.tc.Child("queue")))
+	j.queueSpan = queueCol.StartSpan("srv.queue", obs.F("job", j.id), obs.F("kind", j.kind))
+
 	if qerr := s.queue.push(j); qerr != nil {
 		s.mu.Lock()
 		delete(s.jobs, j.id)
@@ -248,15 +303,12 @@ func (s *Server) submit(wk work) (j *job, cachedArtifact []byte, err error) {
 			delete(s.inflight, j.key)
 		}
 		s.mu.Unlock()
+		j.queueSpan.End(obs.F("rejected", true))
+		j.events.close()
 		s.cRejected.Inc()
 		return nil, nil, qerr
 	}
 	s.cEnqueued.Inc()
-	if s.col.Tracing() {
-		s.col.Emit("srv.enqueue",
-			obs.F("job", j.id), obs.F("kind", j.kind),
-			obs.F("key", short(j.key)), obs.F("priority", j.priority))
-	}
 	return j, nil, nil
 }
 
@@ -289,12 +341,29 @@ func (s *Server) work(workerID int) {
 	}
 }
 
-// runJob executes one job: a last-moment cache check (an identical job
-// may have completed between submission and dequeue), then the
-// computation under its deadline, then persistence and completion.
+// runJob executes one job: close the queue span (its duration is the
+// job's queue wait), a last-moment cache check (an identical job may have
+// completed between submission and dequeue), then the computation under
+// its deadline on a "work" child span, then persistence and completion.
 func (s *Server) runJob(j *job) {
 	j.setState(stateRunning)
-	span := s.col.StartSpan("srv.job", obs.F("job", j.id), obs.F("kind", j.kind))
+	qwait := j.queueSpan.End(obs.F("job", j.id))
+	s.col.Histogram("srv.queuewait."+j.kind, latencyBounds...).Observe(qwait.Seconds())
+
+	s.busy.Add(1)
+	s.gBusy.Add(1)
+	defer func() {
+		s.busy.Add(-1)
+		s.gBusy.Add(-1)
+	}()
+
+	// The worker's collector carries the "work" child span identity; the
+	// run closure hands it to the engine (opts.Obs), so engine phase
+	// events inherit the job's trace without the engine knowing about
+	// traces at all.
+	wtc := j.tc.Child("work")
+	wcol := obs.New(s.col.Metrics(), obs.AnnotateTrace(j.sink, wtc))
+	span := wcol.StartSpan("srv.job", obs.F("job", j.id), obs.F("kind", j.kind))
 
 	var (
 		data   []byte
@@ -307,7 +376,7 @@ func (s *Server) runJob(j *job) {
 		}
 	}
 	if !cached {
-		ctx := context.Background()
+		ctx := obs.WithTrace(context.Background(), wtc)
 		cancel := context.CancelFunc(func() {})
 		if j.timeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, j.timeout)
@@ -325,7 +394,12 @@ func (s *Server) runJob(j *job) {
 					}
 				}
 			}()
-			data, err = j.run(ctx)
+			// pprof labels attribute worker CPU samples to the job mix:
+			// `go tool pprof` can slice a daemon profile by job kind and
+			// circuit.
+			pprof.Do(ctx, pprof.Labels("job_kind", j.kind, "circuit", j.circuit), func(ctx context.Context) {
+				data, err = j.run(ctx, wcol)
+			})
 		}()
 		s.cExecuted.Inc()
 		if err == nil && j.key != "" && s.store != nil {
@@ -340,6 +414,11 @@ func (s *Server) runJob(j *job) {
 	}
 	d := span.End(obs.F("cached", cached), obs.F("ok", err == nil))
 	s.col.Histogram("srv.latency."+j.kind, latencyBounds...).Observe(d.Seconds())
+	if !cached {
+		// Service time proper: what the worker spent computing, queue wait
+		// and cache shortcuts excluded.
+		s.col.Histogram("srv.service."+j.kind, latencyBounds...).Observe(d.Seconds())
+	}
 
 	s.mu.Lock()
 	if j.key != "" && s.inflight[j.key] == j {
@@ -347,11 +426,16 @@ func (s *Server) runJob(j *job) {
 	}
 	s.mu.Unlock()
 	j.complete(data, err, cached)
+	j.events.close()
 }
 
 // latencyBounds cover 0.5ms to ~65s exponentially — the spread between a
 // cache-adjacent lint job and a heavyweight ATPG run.
 var latencyBounds = obs.ExpBounds(0.0005, 2, 18)
+
+// Busy returns how many workers are executing a job right now (the
+// /healthz figure alongside Queued).
+func (s *Server) Busy() int { return int(s.busy.Load()) }
 
 // Queued returns the current backlog depth (the /healthz figure).
 func (s *Server) Queued() int { return s.queue.depthNow() }
@@ -370,6 +454,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/tdv", s.handleTDV)
 	mux.HandleFunc("POST /v1/lint", s.handleLint)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	return mux

@@ -115,7 +115,7 @@ func TestCoalescingOnePipelineRun(t *testing.T) {
 	release := make(chan struct{})
 	blocker, cachedArtifact, err := s.submit(work{
 		kind: "tdv", key: "",
-		run: func(ctx context.Context) ([]byte, error) {
+		run: func(ctx context.Context, col *obs.Collector) ([]byte, error) {
 			<-release
 			return []byte("{}\n"), nil
 		},
@@ -326,7 +326,7 @@ func TestDrainRejectsNewWork(t *testing.T) {
 	executed := false
 	j, _, err := s.submit(work{
 		kind: "tdv", key: "",
-		run: func(ctx context.Context) ([]byte, error) {
+		run: func(ctx context.Context, col *obs.Collector) ([]byte, error) {
 			<-release
 			executed = true
 			return []byte("{}\n"), nil
@@ -386,7 +386,7 @@ func TestQueueBackpressure(t *testing.T) {
 	claimed := make(chan struct{})
 	blocker := work{
 		kind: "tdv", key: "blocker",
-		run: func(ctx context.Context) ([]byte, error) {
+		run: func(ctx context.Context, col *obs.Collector) ([]byte, error) {
 			close(claimed)
 			<-release
 			return []byte("{}\n"), nil
@@ -405,7 +405,7 @@ func TestQueueBackpressure(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		_, _, err := s.submit(work{
 			kind: "tdv", key: fmt.Sprintf("fill%d", i),
-			run: func(ctx context.Context) ([]byte, error) {
+			run: func(ctx context.Context, col *obs.Collector) ([]byte, error) {
 				<-release
 				return []byte("{}\n"), nil
 			},
@@ -434,7 +434,7 @@ func TestPriorityOrdersBacklog(t *testing.T) {
 	mk := func(name string, prio int) work {
 		return work{
 			kind: "tdv", key: name, priority: prio,
-			run: func(ctx context.Context) ([]byte, error) {
+			run: func(ctx context.Context, col *obs.Collector) ([]byte, error) {
 				mu.Lock()
 				order = append(order, name)
 				mu.Unlock()
@@ -445,7 +445,7 @@ func TestPriorityOrdersBacklog(t *testing.T) {
 	// Blocker pins the worker while the backlog accumulates.
 	blocker, _, err := s.submit(work{
 		kind: "tdv", key: "blocker",
-		run: func(ctx context.Context) ([]byte, error) {
+		run: func(ctx context.Context, col *obs.Collector) ([]byte, error) {
 			<-release
 			return []byte("{}\n"), nil
 		},
@@ -505,7 +505,7 @@ func TestJobPanicFailsOnlyThatJob(t *testing.T) {
 
 	j, _, err := s.submit(work{
 		kind: "tdv", key: "boom",
-		run: func(ctx context.Context) ([]byte, error) {
+		run: func(ctx context.Context, col *obs.Collector) ([]byte, error) {
 			panic("kaboom")
 		},
 	})
@@ -555,7 +555,7 @@ func TestJobHistoryBounded(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		j, _, err := s.submit(work{
 			kind: "tdv", key: fmt.Sprintf("k%d", i),
-			run: func(ctx context.Context) ([]byte, error) { return []byte("{}\n"), nil },
+			run: func(ctx context.Context, col *obs.Collector) ([]byte, error) { return []byte("{}\n"), nil },
 		})
 		if err != nil {
 			t.Fatal(err)
