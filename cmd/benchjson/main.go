@@ -19,6 +19,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/faultsim"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/runctl"
 )
 
 type result struct {
@@ -181,17 +183,14 @@ func main() {
 		rep.Cases = append(rep.Cases, liveCase(0.35, []int{1, 2, 4}))
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		fail("%v", err)
-	}
-	enc := json.NewEncoder(f)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fail("encode: %v", err)
 	}
-	if err := f.Close(); err != nil {
-		fail("close: %v", err)
+	if err := runctl.WriteFileAtomic(*out, buf.Bytes()); err != nil {
+		fail("%v", err)
 	}
 	fmt.Printf("wrote %s (cpus=%d gomaxprocs=%d, %d cases)\n",
 		*out, rep.Host.CPUs, rep.Host.GoMaxProcs, len(rep.Cases))

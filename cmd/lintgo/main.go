@@ -20,6 +20,12 @@
 //	GO003  bare go statement outside internal/par: ad-hoc goroutines
 //	       reorder work nondeterministically; concurrency must go through
 //	       the deterministic parallel-execution layer.
+//	GO004  os.WriteFile / os.Create outside internal/runctl: a raw write
+//	       torn by a crash leaves a half-written artifact that poisons
+//	       later runs. Durable output goes through runctl.WriteFileAtomic
+//	       (write-rename) or runctl.AppendFile (fsync'd append). The rule
+//	       skips _test.go files even under -tests — tests corrupt files on
+//	       purpose.
 //
 // A finding is suppressed by a '//lintgo:allow GO00x [reason]' comment on
 // the offending line or the line above it. Test files are skipped unless
@@ -64,7 +70,7 @@ func run() int {
 	tests := fset.Bool("tests", false, "also lint _test.go files")
 	fset.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: lintgo [-tests] [path...]")
-		fmt.Fprintln(os.Stderr, "lints Go sources for determinism rules GO001-GO003; paths default to .")
+		fmt.Fprintln(os.Stderr, "lints Go sources for determinism rules GO001-GO004; paths default to .")
 		fset.PrintDefaults()
 	}
 	fset.Parse(os.Args[1:])
@@ -207,8 +213,18 @@ func exempt(rule, slashPath string) bool {
 		return in("internal/obs") || in("internal/runctl") || in("internal/srv")
 	case "GO003":
 		return in("internal/par")
+	case "GO004":
+		return in("internal/runctl")
 	}
 	return false
+}
+
+// rawWriteFns are the os functions that create or replace a file without
+// crash-atomicity. os.OpenFile is deliberately not listed: its flag
+// argument decides the semantics (O_APPEND is fine), which a syntactic
+// lint cannot judge without constant folding.
+var rawWriteFns = map[string]bool{
+	"WriteFile": true, "Create": true,
 }
 
 // checkSource parses one file and applies the three rules. Allow
@@ -260,9 +276,10 @@ func checkSource(tokens *token.FileSet, path string, src []byte) ([]finding, err
 		out = append(out, finding{file: path, line: p.Line, rule: base, msg: fmt.Sprintf(format, args...)})
 	}
 
-	// Resolve the local names of math/rand and time imports; a dot import
-	// of math/rand is itself a finding because it hides global-source use.
-	randName, timeName := "", ""
+	// Resolve the local names of math/rand, time and os imports; a dot
+	// import of math/rand is itself a finding because it hides
+	// global-source use.
+	randName, timeName, osName := "", "", ""
 	for _, imp := range f.Imports {
 		ipath, _ := strconv.Unquote(imp.Path.Value)
 		name := ""
@@ -294,8 +311,22 @@ func checkSource(tokens *token.FileSet, path string, src []byte) ([]finding, err
 			default:
 				timeName = name
 			}
+		case "os":
+			switch name {
+			case "", ".":
+				osName = "os"
+			case "_":
+				osName = ""
+			default:
+				osName = name
+			}
 		}
 	}
+
+	// GO004 never fires on test files: tests write and corrupt files on
+	// purpose (torn artifacts, junk journal lines) and their output is
+	// t.TempDir scratch, not a durable result.
+	isTest := strings.HasSuffix(slash, "_test.go")
 
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -321,6 +352,9 @@ func checkSource(tokens *token.FileSet, path string, src []byte) ([]finding, err
 			case timeName != "" && pkg.Name == timeName && tickerFns[sel.Sel.Name]:
 				report(n.Pos(), "GO002-ticker",
 					"timer/ticker time.%s outside internal/obs, internal/runctl and internal/srv", sel.Sel.Name)
+			case !isTest && osName != "" && pkg.Name == osName && rawWriteFns[sel.Sel.Name]:
+				report(n.Pos(), "GO004",
+					"non-atomic file write os.%s: use runctl.WriteFileAtomic or runctl.AppendFile", sel.Sel.Name)
 			}
 		}
 		return true

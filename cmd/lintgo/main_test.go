@@ -142,6 +142,64 @@ func f() { go func() {}() }
 	}
 }
 
+func TestGO004RawWrites(t *testing.T) {
+	src := `package x
+import "os"
+func f() error {
+	if err := os.WriteFile("out.json", nil, 0o644); err != nil {
+		return err
+	}
+	_, err := os.Create("report.txt")
+	return err
+}
+`
+	if got := check(t, "cmd/tool/a.go", src); len(got) != 2 || got[0] != "GO004" || got[1] != "GO004" {
+		t.Errorf("findings = %v, want [GO004 GO004]", got)
+	}
+	// The crash-safe write layer is the one place raw writes belong.
+	if got := check(t, "internal/runctl/atomic.go", src); len(got) != 0 {
+		t.Errorf("internal/runctl flagged: %v", got)
+	}
+	// Test files corrupt artifacts on purpose; the rule never fires there,
+	// even when the walker was told to include tests.
+	if got := check(t, "cmd/tool/a_test.go", src); len(got) != 0 {
+		t.Errorf("test file flagged: %v", got)
+	}
+	// An aliased os import is still the os package.
+	aliased := `package x
+import stdos "os"
+func f() error { return stdos.WriteFile("x", nil, 0o644) }
+`
+	if got := check(t, "cmd/tool/a.go", aliased); len(got) != 1 || got[0] != "GO004" {
+		t.Errorf("aliased findings = %v, want [GO004]", got)
+	}
+	// Reads and opens are not writes; a local variable named os is not the
+	// package.
+	clean := `package x
+import "os"
+type fsys struct{}
+func (fsys) Create(string) error { return nil }
+func f() error {
+	_, _ = os.ReadFile("x")
+	_, _ = os.Open("x")
+	os := fsys{}
+	return os.Create("x")
+}
+`
+	if got := check(t, "cmd/tool/a.go", clean); len(got) != 0 {
+		t.Errorf("clean source flagged: %v", got)
+	}
+	// An allow directive suppresses, as for every other rule.
+	allowed := `package x
+import "os"
+//lintgo:allow GO004 streaming sink
+var f, _ = os.Create("trace.jsonl")
+`
+	if got := check(t, "cmd/tool/a.go", allowed); len(got) != 0 {
+		t.Errorf("GO004 directive ignored: %v", got)
+	}
+}
+
 func TestAllowDirective(t *testing.T) {
 	above := `package x
 import "time"

@@ -38,6 +38,15 @@
 // manifest, and exits 0 — a signal is a daemon's normal stop, not an
 // interrupted experiment. A second signal kills the process immediately.
 //
+// Crash safety: with -journal FILE every admission is fsync'd before the
+// client sees its job id; a daemon killed outright (kill -9, OOM, power)
+// replays admitted-but-unfinished jobs on the next start under their
+// original ids, resuming ATPG runs from their checkpoints. With
+// -cache-dir the store verifies artifact content hashes on every read,
+// quarantines corruption, and scrubs the whole cache at startup.
+// -debug-failpoints exposes POST /debug/failpoints so the chaos harness
+// (socload -chaos) can inject faults; it is off by default.
+//
 // Observability:
 //
 //	socd -trace run.jsonl    # structured JSONL trace of every job
@@ -81,6 +90,8 @@ func run() int {
 		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline (0 = none); requests may override with timeout_ms")
 		jsonOut    = flag.Bool("json", false, "write the run manifest as JSON to stdout on shutdown")
 		manifest   = flag.String("manifest", "", "write the run manifest to `file` on shutdown (atomic replace)")
+		journal    = flag.String("journal", "", "durable job journal `file`; admitted jobs survive a crash and replay on the next start (empty = off)")
+		debugFPs   = flag.Bool("debug-failpoints", false, "expose POST /debug/failpoints for fault injection (chaos testing only; never on an untrusted network)")
 	)
 	var ob cli.Obs
 	ob.Register(flag.CommandLine)
@@ -108,6 +119,12 @@ func run() int {
 		man.SetOption("cache_dir", *cacheDir)
 		man.SetOption("cache_max_bytes", *cacheMax)
 	}
+	if *journal != "" {
+		man.SetOption("journal", *journal)
+	}
+	if *debugFPs {
+		man.SetOption("debug_failpoints", true)
+	}
 
 	fail := func(err error) int {
 		cli.Errorf(prog, "%v", err)
@@ -123,15 +140,23 @@ func run() int {
 		if err != nil {
 			return fail(err)
 		}
+		// Walk the cache before serving from it: artifacts corrupted while
+		// the daemon was down are quarantined now rather than discovered
+		// (and recomputed) one miss at a time under load.
+		if checked, corrupt := st.Scrub(); corrupt > 0 {
+			fmt.Fprintf(os.Stderr, "%s: cache scrub quarantined %d of %d artifacts\n", prog, corrupt, checked)
+		}
 	}
 
 	server := srv.New(srv.Config{
-		Workers:    *workers,
-		QueueSize:  *queueSize,
-		Store:      st,
-		Col:        col,
-		JobTimeout: *jobTimeout,
-		Version:    man.Version, // git describe, surfaced on /healthz
+		Workers:     *workers,
+		QueueSize:   *queueSize,
+		Store:       st,
+		Col:         col,
+		JobTimeout:  *jobTimeout,
+		Version:     man.Version, // git describe, surfaced on /healthz
+		JournalPath: *journal,
+		Debug:       *debugFPs,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -161,6 +161,7 @@ func (o *Obs) Enabled() bool {
 func (o *Obs) Start(prog string) *obs.Collector {
 	o.prog = prog
 	if o.CPUProfile != "" {
+		//lintgo:allow GO004 pprof streams into the handle for the whole run; write-rename cannot wrap a live sink
 		f, err := os.Create(o.CPUProfile)
 		Check(prog, err)
 		Check(prog, pprof.StartCPUProfile(f))
@@ -169,6 +170,7 @@ func (o *Obs) Start(prog string) *obs.Collector {
 	if o.TracePath != "" {
 		w := os.Stderr
 		if o.TracePath != "-" {
+			//lintgo:allow GO004 the trace sink streams events as they happen; a torn trace from a crash is itself evidence
 			f, err := os.Create(o.TracePath)
 			Check(prog, err)
 			o.traceFile = f

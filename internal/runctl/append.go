@@ -1,0 +1,76 @@
+package runctl
+
+import (
+	"os"
+	"sync"
+)
+
+// FPJournalAppend is the failpoint name hit on every AppendFile.Append;
+// tests and the chaos harness arm it to simulate a failing disk at the
+// Nth journal record.
+const FPJournalAppend = "runctl.journal.append"
+
+// AppendFile is the durable append-only writer behind the serving
+// subsystem's job journal. Where WriteFileAtomic replaces a whole file
+// crash-safely, AppendFile grows one record at a time with the same
+// discipline applied per record: each Append writes the record and
+// fsyncs before returning, so a record that Append acknowledged survives
+// a kill -9 an instant later.
+//
+// A crash mid-Append can leave a torn final record (the bytes landed but
+// the fsync, or part of the write, did not). That is the reader's
+// problem by design: journal readers must treat an unparsable final line
+// as "the crash happened here", not as corruption of the records before
+// it — those were each acknowledged only after their own fsync.
+//
+// AppendFile is safe for concurrent use; records from concurrent callers
+// interleave whole, never byte-wise.
+type AppendFile struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenAppend opens (creating if needed) path for durable appends.
+func OpenAppend(path string) (*AppendFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, &CheckpointError{Path: path, Op: "write", Err: err}
+	}
+	return &AppendFile{f: f, path: path}, nil
+}
+
+// Append writes one record (a trailing newline is added when missing)
+// and fsyncs. On any failure the record must be treated as not written:
+// it may or may not have reached the disk, and the caller decides
+// whether that is fatal or merely counted.
+func (a *AppendFile) Append(record []byte) error {
+	if err := Hit(FPJournalAppend); err != nil {
+		return &CheckpointError{Path: a.path, Op: "write", Err: err}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(record) == 0 || record[len(record)-1] != '\n' {
+		record = append(append([]byte(nil), record...), '\n')
+	}
+	if _, err := a.f.Write(record); err != nil {
+		return &CheckpointError{Path: a.path, Op: "write", Err: err}
+	}
+	if err := a.f.Sync(); err != nil {
+		return &CheckpointError{Path: a.path, Op: "write", Err: err}
+	}
+	return nil
+}
+
+// Path returns the file being appended to.
+func (a *AppendFile) Path() string { return a.path }
+
+// Close closes the underlying file. Further Appends fail.
+func (a *AppendFile) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.f.Close(); err != nil {
+		return &CheckpointError{Path: a.path, Op: "write", Err: err}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package runctl
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAppendFileAppendsWholeRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	a, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append([]byte(`{"op":"admit"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append([]byte("{\"op\":\"done\"}\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "{\"op\":\"admit\"}\n{\"op\":\"done\"}\n"
+	if string(data) != want {
+		t.Errorf("journal = %q, want %q", data, want)
+	}
+
+	// Reopening appends after the existing records.
+	b, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append([]byte(`{"op":"more"}`)); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	data, _ = os.ReadFile(path)
+	if !strings.HasSuffix(string(data), "{\"op\":\"more\"}\n") || !strings.HasPrefix(string(data), want) {
+		t.Errorf("reopened journal = %q", data)
+	}
+}
+
+func TestAppendFileFailpoint(t *testing.T) {
+	defer DisarmAll()
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	a, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	injected := errors.New("injected disk error")
+	Arm(FPJournalAppend, 2, injected)
+	if err := a.Append([]byte("one")); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	err = a.Append([]byte("two"))
+	var ce *CheckpointError
+	if !errors.As(err, &ce) || !errors.Is(err, injected) {
+		t.Fatalf("second append = %v, want CheckpointError wrapping the injection", err)
+	}
+	// The failed record must not have reached the file.
+	data, _ := os.ReadFile(path)
+	if string(data) != "one\n" {
+		t.Errorf("journal after injected failure = %q, want %q", data, "one\n")
+	}
+	// The failpoint is one-shot: the next append succeeds.
+	if err := a.Append([]byte("three")); err != nil {
+		t.Fatalf("post-injection append: %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+package srv
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/runctl"
+)
+
+// fpRequest arms (or disarms) a runctl failpoint over HTTP — the chaos
+// harness's lever. The endpoint exists only when Config.Debug is set;
+// socd wires that to -debug-failpoints, off by default.
+type fpRequest struct {
+	// Name is a failpoint site, e.g. "store.write", "srv.worker",
+	// "runctl.journal.append". Required except for disarm-all.
+	Name string `json:"name"`
+	// Nth delays the trigger to the Nth hit (default 1 = next hit). All
+	// failpoints are one-shot: they disarm when they fire.
+	Nth int `json:"nth"`
+	// Mode: "error" (default) injects an error return, "panic" injects a
+	// panic, "disarm" / "disarm-all" clear.
+	Mode string `json:"mode"`
+}
+
+func (s *Server) handleFailpoints(w http.ResponseWriter, r *http.Request) {
+	var req fpRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "error"
+	}
+	nth := req.Nth
+	if nth <= 0 {
+		nth = 1
+	}
+	if mode != "disarm-all" && req.Name == "" {
+		badRequest(w, "need a failpoint name")
+		return
+	}
+	switch mode {
+	case "disarm-all":
+		runctl.DisarmAll()
+	case "disarm":
+		runctl.Disarm(req.Name)
+	case "panic":
+		runctl.ArmPanic(req.Name, nth, "chaos-injected panic at "+req.Name)
+	case "error":
+		runctl.Arm(req.Name, nth, fmt.Errorf("chaos-injected failure at %s", req.Name))
+	default:
+		badRequest(w, "unknown mode %q", mode)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": req.Name, "mode": mode, "nth": nth})
+}

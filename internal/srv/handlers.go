@@ -1,329 +1,92 @@
 package srv
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"runtime"
 	"strings"
-	"time"
 
-	"repro/internal/atpg"
-	"repro/internal/bench89"
-	"repro/internal/core"
-	"repro/internal/itc02"
-	"repro/internal/lint"
-	"repro/internal/netlist"
-	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/runctl"
-	"repro/internal/store"
 )
 
 // maxBodyBytes bounds request bodies; the largest legitimate input is a
 // full .bench netlist, comfortably under this.
 const maxBodyBytes = 16 << 20
 
-// work is a parsed, canonicalized request ready for submission. The run
-// closure receives the worker's trace-annotated collector: engine events
-// emitted through it carry the job's trace/span identity, and the ctx
-// carries the same obs.TraceContext for code that wants it directly.
-type work struct {
-	kind     string
-	circuit  string // short workload label ("s713", "d695", "bench", ...)
-	key      string
-	priority int
-	timeout  time.Duration
-	nocache  bool
-	run      func(ctx context.Context, col *obs.Collector) ([]byte, error)
-}
-
-// submitCommon is the request envelope every POST endpoint shares.
-type submitCommon struct {
-	// Priority orders the queue: higher runs first (default 0).
-	Priority int `json:"priority"`
-	// Async returns 202 + a job id immediately; poll /v1/jobs/{id}.
-	Async bool `json:"async"`
-	// TimeoutMS overrides the server's default per-job deadline.
-	TimeoutMS int64 `json:"timeout_ms"`
-	// NoCache forces a fresh computation and keeps its result out of the
-	// store (and out of coalescing).
-	NoCache bool `json:"nocache"`
-}
-
-// apply copies the envelope onto the work unit.
-func (c submitCommon) apply(s *Server, wk *work) {
-	wk.priority = c.Priority
-	wk.nocache = c.NoCache
-	wk.timeout = s.cfg.JobTimeout
-	if c.TimeoutMS > 0 {
-		wk.timeout = time.Duration(c.TimeoutMS) * time.Millisecond
-	}
-}
+// The request/work types and builders live in work.go so journal replay
+// can rebuild jobs through the same code path the handlers use. The
+// handlers here are pure HTTP plumbing: decode, build, dispatch.
 
 // --- POST /v1/atpg -------------------------------------------------------
-
-// atpgRequest runs PODEM test generation on a netlist. Exactly one of
-// bench (a .bench source) or standin (a generated ISCAS'89 stand-in name)
-// selects the circuit.
-type atpgRequest struct {
-	submitCommon
-	Bench   string       `json:"bench"`
-	Standin string       `json:"standin"`
-	Options *atpgOptions `json:"options"`
-}
-
-// atpgOptions mirrors the atpg.Options knobs that are meaningful over the
-// wire. Pointers distinguish "absent" (default) from explicit zeros.
-type atpgOptions struct {
-	Backtrack      int   `json:"backtrack"`
-	Random         *int  `json:"random"`
-	Compact        *bool `json:"compact"`
-	DynamicCompact bool  `json:"dynamic_compact"`
-	DynamicTargets int   `json:"dynamic_targets"`
-	Passes         int   `json:"passes"`
-	Seed           *int64 `json:"seed"`
-	Workers        int   `json:"workers"`
-}
-
-// buildOptions resolves the wire options onto the experiment defaults.
-func (o *atpgOptions) buildOptions() atpg.Options {
-	opts := atpg.DefaultOptions()
-	// Jobs default to serial ATPG internals: the pool supplies cross-job
-	// parallelism, and one job must not monopolize every core.
-	opts.Workers = 1
-	if o == nil {
-		return opts
-	}
-	if o.Backtrack > 0 {
-		opts.BacktrackLimit = o.Backtrack
-	}
-	if o.Random != nil {
-		opts.RandomPatterns = *o.Random
-	}
-	if o.Compact != nil {
-		opts.Compact = *o.Compact
-	}
-	opts.DynamicCompact = o.DynamicCompact
-	if o.DynamicTargets > 0 {
-		opts.DynamicTargets = o.DynamicTargets
-	}
-	if o.Passes > 0 {
-		opts.Passes = o.Passes
-	}
-	if o.Seed != nil {
-		opts.Seed = *o.Seed
-	}
-	if o.Workers > 0 {
-		opts.Workers = o.Workers
-	}
-	return opts
-}
 
 func (s *Server) handleATPG(w http.ResponseWriter, r *http.Request) {
 	var req atpgRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	var (
-		c   *netlist.Circuit
-		err error
-	)
-	switch {
-	case req.Standin != "" && req.Bench != "":
-		badRequest(w, "give bench or standin, not both")
-		return
-	case req.Standin != "":
-		prof, ok := bench89.ProfileByName(req.Standin)
-		if !ok {
-			badRequest(w, "unknown stand-in %q", req.Standin)
-			return
-		}
-		c, err = bench89.Generate(prof)
-	case req.Bench != "":
-		c, err = netlist.ParseBenchString("request.bench", req.Bench)
-	default:
-		badRequest(w, "need bench or standin")
-		return
-	}
+	wk, err := atpgWork(&req)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
 	}
-	opts := req.Options.buildOptions()
-	// The content address binds the canonical circuit structure to every
-	// option that steers the search — the same fingerprint checkpoints
-	// use — so formatting differences or a changed seed never alias.
-	// (opts.Obs is set per run and deliberately excluded from the hash.)
-	canon := netlist.BenchString(c)
-	key := store.Key("atpg", []byte(canon), atpg.OptionsHash(c, atpg.NumFaultsFor(c), opts))
-	wk := work{
-		kind:    "atpg",
-		circuit: c.Name,
-		key:     key,
-		run: func(ctx context.Context, col *obs.Collector) ([]byte, error) {
-			o := opts
-			o.Obs = col // engine phase events inherit the job's trace identity
-			res, rerr := atpg.GenerateContext(ctx, c, o)
-			if rerr != nil {
-				return nil, rerr
-			}
-			return atpg.EncodeSummary(res.Summary(c.Name))
-		},
-	}
 	req.apply(s, &wk)
+	wk.client = clientID(r)
+	wk.reqJSON = marshalReq(req)
 	s.dispatch(w, r, wk, req.Async)
 }
 
 // --- POST /v1/tdv --------------------------------------------------------
-
-// tdvRequest computes the monolithic-vs-modular TDV comparison for an SOC
-// profile: either an inline .soc source or a built-in ITC'02 name.
-type tdvRequest struct {
-	submitCommon
-	SOC     string `json:"soc"`
-	Builtin string `json:"builtin"`
-	TMono   *int   `json:"tmono"`
-}
 
 func (s *Server) handleTDV(w http.ResponseWriter, r *http.Request) {
 	var req tdvRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	var (
-		soc *core.SOC
-		err error
-	)
-	switch {
-	case req.Builtin != "" && req.SOC != "":
-		badRequest(w, "give soc or builtin, not both")
-		return
-	case req.Builtin != "":
-		soc, err = itc02.SOCByName(req.Builtin)
-	case req.SOC != "":
-		soc, err = itc02.ParseSOC(strings.NewReader(req.SOC))
-	default:
-		badRequest(w, "need soc or builtin")
-		return
-	}
+	wk, err := tdvWork(&req)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
 	}
-	if req.TMono != nil {
-		soc.TMono = *req.TMono
-	}
-	// Canonicalizing after the override folds tmono into the address.
-	canon := itc02.SOCString(soc)
-	wk := work{
-		kind:    "tdv",
-		circuit: soc.Name,
-		key:     store.Key("tdv", []byte(canon), "v1"),
-		run: func(ctx context.Context, col *obs.Collector) ([]byte, error) {
-			span := col.StartSpan("tdv.analyze", obs.F("soc", soc.Name))
-			rep := soc.Analyze()
-			span.End(obs.F("modules", len(soc.Modules())))
-			b, merr := json.Marshal(rep)
-			if merr != nil {
-				return nil, merr
-			}
-			return append(b, '\n'), nil
-		},
-	}
 	req.apply(s, &wk)
+	wk.client = clientID(r)
+	wk.reqJSON = marshalReq(req)
 	s.dispatch(w, r, wk, req.Async)
 }
 
 // --- POST /v1/lint -------------------------------------------------------
-
-// lintRequest runs the static design-rule checks over an inline source:
-// the netlist DRC for bench, the SOC rules for soc.
-type lintRequest struct {
-	submitCommon
-	Bench string `json:"bench"`
-	SOC   string `json:"soc"`
-}
-
-// lintArtifact is the stored/served lint result.
-type lintArtifact struct {
-	Errors   int        `json:"errors"`
-	Warnings int        `json:"warnings"`
-	Infos    int        `json:"infos"`
-	Diags    []lintDiag `json:"diags"`
-}
-
-type lintDiag struct {
-	Rule     string `json:"rule"`
-	Severity string `json:"severity"`
-	File     string `json:"file"`
-	Line     int    `json:"line,omitempty"`
-	Subject  string `json:"subject,omitempty"`
-	Msg      string `json:"msg"`
-}
 
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	var req lintRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	var (
-		mode string
-		src  string
-	)
-	switch {
-	case req.Bench != "" && req.SOC != "":
-		badRequest(w, "give bench or soc, not both")
+	wk, err := lintWork(&req)
+	if err != nil {
+		badRequest(w, "%v", err)
 		return
-	case req.Bench != "":
-		mode, src = "bench", req.Bench
-	case req.SOC != "":
-		mode, src = "soc", req.SOC
-	default:
-		badRequest(w, "need bench or soc")
-		return
-	}
-	wk := work{
-		kind:    "lint",
-		circuit: mode,
-		key:     store.Key("lint", []byte(src), mode),
-		run: func(ctx context.Context, col *obs.Collector) ([]byte, error) {
-			span := col.StartSpan("lint.check", obs.F("mode", mode))
-			var rep *lint.Report
-			if mode == "bench" {
-				rep = lint.CheckBench("request.bench", src, lint.DefaultOptions())
-			} else {
-				rep = lint.CheckSOCSource("request.soc", src)
-			}
-			span.End(obs.F("diags", len(rep.Diags)))
-			rep.Sort()
-			art := lintArtifact{
-				Errors:   rep.Count(lint.Error),
-				Warnings: rep.Count(lint.Warning),
-				Infos:    rep.Count(lint.Info),
-				Diags:    make([]lintDiag, 0, len(rep.Diags)),
-			}
-			for _, d := range rep.Diags {
-				art.Diags = append(art.Diags, lintDiag{
-					Rule:     d.Rule,
-					Severity: d.Sev.String(),
-					File:     d.Pos.File,
-					Line:     d.Pos.Line,
-					Subject:  d.Subject,
-					Msg:      d.Msg,
-				})
-			}
-			b, merr := json.Marshal(art)
-			if merr != nil {
-				return nil, merr
-			}
-			return append(b, '\n'), nil
-		},
 	}
 	req.apply(s, &wk)
+	wk.client = clientID(r)
+	wk.reqJSON = marshalReq(req)
 	s.dispatch(w, r, wk, req.Async)
+}
+
+// clientID buckets a request for fair dequeue: the X-API-Key header when
+// the client sends one, else the remote host. Anonymous loopback clients
+// all share one bucket, which is exactly the fairness unit we want there.
+func clientID(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
 }
 
 // --- GET /v1/jobs/{id}, /healthz, /metricsz ------------------------------
@@ -402,10 +165,17 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 // dispatch submits the work and writes the response: the artifact bytes
 // verbatim on the synchronous path (with X-Cache and X-Job headers), or a
 // 202 + job id on the asynchronous one. A warm store hit never queues.
+// Admission failures (queue full, draining, injected faults) are 503s
+// carrying a Retry-After computed from the live queue-wait distribution.
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, wk work, async bool) {
 	j, cachedArtifact, err := s.submit(wk)
 	if err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		sec := s.retryAfter()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", sec))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":           err.Error(),
+			"retry_after_sec": sec,
+		})
 		return
 	}
 	if cachedArtifact != nil {

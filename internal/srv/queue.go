@@ -18,9 +18,10 @@ var (
 	ErrDraining = errors.New("srv: server is draining")
 )
 
-// jobHeap orders jobs by descending priority, FIFO (ascending submission
-// sequence) within a priority — so a burst of equal-priority work is
-// served in arrival order and a high-priority job overtakes the backlog.
+// jobHeap orders one client's jobs by descending priority, FIFO
+// (ascending submission sequence) within a priority — so a burst of
+// equal-priority work is served in arrival order and a high-priority job
+// overtakes the backlog.
 type jobHeap []*job
 
 func (h jobHeap) Len() int { return len(h) }
@@ -30,8 +31,8 @@ func (h jobHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *jobHeap) Push(x any)        { *h = append(*h, x.(*job)) }
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*job)) }
 func (h *jobHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -41,20 +42,32 @@ func (h *jobHeap) Pop() any {
 	return x
 }
 
-// jobQueue is the bounded blocking priority queue between the HTTP
-// handlers and the worker pool. Close stops admission immediately but
-// lets workers drain what was already accepted.
+// jobQueue is the bounded blocking queue between the HTTP handlers and
+// the worker pool, fair across clients: each client (API key or remote
+// host) owns a priority heap, and dequeue round-robins over the clients
+// that have pending work. One client flooding the queue therefore delays
+// its own jobs, not everyone else's — another client's next job waits
+// behind at most one job per competing client rather than behind the
+// whole flood. Within a client, higher priority first, FIFO within a
+// priority, exactly as before. The discipline is deterministic: ring
+// order is client first-arrival order, no randomization.
+//
+// Close stops admission immediately but lets workers drain what was
+// already accepted.
 type jobQueue struct {
-	mu     sync.Mutex
+	mu       sync.Mutex
 	nonEmpty *sync.Cond
-	heap   jobHeap
-	max    int
-	closed bool
-	depth  *obs.Gauge // srv.queue.depth
+	byClient map[string]*jobHeap
+	ring     []string // clients with pending jobs, first-arrival order
+	cursor   int      // next ring slot to serve
+	size     int
+	max      int
+	closed   bool
+	depth    *obs.Gauge // srv.queue.depth
 }
 
 func newJobQueue(max int, depth *obs.Gauge) *jobQueue {
-	q := &jobQueue{max: max, depth: depth}
+	q := &jobQueue{max: max, depth: depth, byClient: make(map[string]*jobHeap)}
 	q.nonEmpty = sync.NewCond(&q.mu)
 	return q
 }
@@ -66,13 +79,37 @@ func (q *jobQueue) push(j *job) error {
 	if q.closed {
 		return ErrDraining
 	}
-	if q.max > 0 && len(q.heap) >= q.max {
+	if q.max > 0 && q.size >= q.max {
 		return ErrQueueFull
 	}
-	heap.Push(&q.heap, j)
-	q.depth.Set(int64(len(q.heap)))
-	q.nonEmpty.Signal()
+	q.pushLocked(j)
 	return nil
+}
+
+// forcePush admits a job past the capacity bound. Journal replay uses it:
+// jobs the daemon already acknowledged must be re-admitted even if the
+// configured bound shrank across the restart.
+func (q *jobQueue) forcePush(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	q.pushLocked(j)
+	return nil
+}
+
+func (q *jobQueue) pushLocked(j *job) {
+	h := q.byClient[j.client]
+	if h == nil {
+		h = &jobHeap{}
+		q.byClient[j.client] = h
+		q.ring = append(q.ring, j.client)
+	}
+	heap.Push(h, j)
+	q.size++
+	q.depth.Set(int64(q.size))
+	q.nonEmpty.Signal()
 }
 
 // pop blocks until a job is available and returns it; it returns false
@@ -81,14 +118,28 @@ func (q *jobQueue) push(j *job) error {
 func (q *jobQueue) pop() (*job, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.heap) == 0 {
+	for q.size == 0 {
 		if q.closed {
 			return nil, false
 		}
 		q.nonEmpty.Wait()
 	}
-	j := heap.Pop(&q.heap).(*job)
-	q.depth.Set(int64(len(q.heap)))
+	if q.cursor >= len(q.ring) {
+		q.cursor = 0
+	}
+	client := q.ring[q.cursor]
+	h := q.byClient[client]
+	j := heap.Pop(h).(*job)
+	if h.Len() == 0 {
+		// The client's last pending job: drop it from the ring. The cursor
+		// now already points at the next client.
+		delete(q.byClient, client)
+		q.ring = append(q.ring[:q.cursor], q.ring[q.cursor+1:]...)
+	} else {
+		q.cursor++
+	}
+	q.size--
+	q.depth.Set(int64(q.size))
 	return j, true
 }
 
@@ -105,5 +156,5 @@ func (q *jobQueue) close() {
 func (q *jobQueue) depthNow() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.heap)
+	return q.size
 }

@@ -22,6 +22,17 @@
 //     returns — in-flight work completes and lands in the store before
 //     the process exits.
 //
+// Crash safety (PR 7): with a JournalPath configured, every admission is
+// fsync'd to an append-only JSONL journal before the client sees its job
+// id, and every completion appends a matching done record. A daemon
+// killed mid-flight replays the journal on the next start: admitted-but-
+// unfinished jobs are rebuilt from their recorded request JSON (the same
+// builders the HTTP handlers use — see work.go and journal.go), re-
+// enqueued under their original ids, and — for ATPG — resumed from the
+// per-job checkpoint where one landed. Dequeue is fair across clients
+// (see queue.go), and admission rejections carry a Retry-After derived
+// from the live queue-wait distribution.
+//
 // Everything is instrumented through internal/obs: queue-depth gauge,
 // per-kind latency histograms (whose p50/p95/p99 surface on /metricsz),
 // executed/coalesced/failed counters, and the store's hit/miss/eviction
@@ -31,7 +42,10 @@ package srv
 import (
 	"context"
 	"fmt"
+	"math"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime/debug"
 	"runtime/pprof"
 	"sync"
@@ -42,6 +56,17 @@ import (
 	"repro/internal/par"
 	"repro/internal/runctl"
 	"repro/internal/store"
+)
+
+// Failpoint names the serving layer hits; the chaos harness and tests arm
+// them via runctl (or the /debug/failpoints endpoint when Config.Debug).
+const (
+	// FPAdmit fires at the top of submit: an armed error surfaces as a
+	// 503 with Retry-After, exactly like a full queue.
+	FPAdmit = "srv.admit"
+	// FPWorker fires in the worker just before the computation runs;
+	// armed as a panic it exercises the per-job panic recovery.
+	FPWorker = "srv.worker"
 )
 
 // Config assembles a Server.
@@ -70,6 +95,14 @@ type Config struct {
 	// SSEKeepAlive is the comment interval keeping idle SSE streams
 	// alive through proxies; 0 means the default of 15s.
 	SSEKeepAlive time.Duration
+	// JournalPath enables the durable job journal: admissions and
+	// completions are fsync'd there, and startup replays unfinished jobs.
+	// ATPG jobs additionally checkpoint under JournalPath+".ckpt" so a
+	// replayed job resumes instead of restarting. "" disables both.
+	JournalPath string
+	// Debug exposes POST /debug/failpoints (the chaos harness's arming
+	// endpoint). Off by default; never enable on an untrusted network.
+	Debug bool
 }
 
 // jobState is the lifecycle of a job as /v1/jobs reports it.
@@ -103,8 +136,10 @@ type job struct {
 	kind     string // "atpg", "tdv", "lint"
 	circuit  string // short workload label for trace events and pprof labels
 	key      string // content address; "" = uncacheable
+	client   string // fairness bucket (see clientID); "" for direct submits
 	priority int
 	seq      int64
+	reqJSON  []byte // journaled request, nil when journaling is off
 	timeout  time.Duration
 	run      func(ctx context.Context, col *obs.Collector) ([]byte, error)
 
@@ -173,6 +208,9 @@ type Server struct {
 
 	busy atomic.Int64 // workers currently executing a job
 
+	journal *runctl.AppendFile // nil when Config.JournalPath is ""
+	ckptDir string             // per-job ATPG checkpoints; "" when journaling is off
+
 	cEnqueued  *obs.Counter
 	cExecuted  *obs.Counter
 	cCoalesced *obs.Counter
@@ -180,6 +218,15 @@ type Server struct {
 	cCacheHits *obs.Counter // served from the store without queueing
 	cRejected  *obs.Counter
 	gBusy      *obs.Gauge
+	qwaitAll   *obs.Histogram // queue wait across kinds; feeds Retry-After
+
+	// Journal health: append failures are counted, never fatal — losing
+	// journal durability degrades replay, not serving.
+	cJournalErrs      *obs.Counter // srv.journal.errors
+	cJournalMalformed *obs.Counter // srv.journal.malformed (torn/garbled lines)
+	cJournalSkipped   *obs.Counter // srv.journal.skipped_version
+	cJournalDropped   *obs.Counter // srv.journal.unsupported (kind we can't rebuild)
+	cJournalReplayed  *obs.Counter // srv.journal.replayed
 }
 
 // New builds the server and starts its worker pool. Call Drain to stop.
@@ -210,8 +257,29 @@ func New(cfg Config) *Server {
 		cRejected:  cfg.Col.Counter("srv.queue.rejected"),
 		gBusy:      cfg.Col.Gauge("srv.workers.busy"),
 	}
+	s.qwaitAll = cfg.Col.Histogram("srv.queuewait.all", latencyBounds...)
+	s.cJournalErrs = cfg.Col.Counter("srv.journal.errors")
+	s.cJournalMalformed = cfg.Col.Counter("srv.journal.malformed")
+	s.cJournalSkipped = cfg.Col.Counter("srv.journal.skipped_version")
+	s.cJournalDropped = cfg.Col.Counter("srv.journal.unsupported")
+	s.cJournalReplayed = cfg.Col.Counter("srv.journal.replayed")
 	s.queue = newJobQueue(cfg.QueueSize, cfg.Col.Gauge("srv.queue.depth"))
 	s.col.Gauge("srv.workers").Set(int64(par.Workers(cfg.Workers)))
+	if cfg.JournalPath != "" {
+		// Replay-and-compact happens before the workers start: every
+		// unfinished job is back on the queue (under its original id and
+		// trace identity) before any new work can race it.
+		s.ckptDir = cfg.JournalPath + ".ckpt"
+		if err := os.MkdirAll(s.ckptDir, 0o777); err != nil {
+			s.ckptDir = "" // journal still works; resume degrades to recompute
+		}
+		s.replayJournal(cfg.JournalPath)
+		if jf, err := runctl.OpenAppend(cfg.JournalPath); err != nil {
+			s.cJournalErrs.Inc()
+		} else {
+			s.journal = jf
+		}
+	}
 	s.pool = par.StartPool(cfg.Workers, s.work)
 	return s
 }
@@ -224,12 +292,22 @@ func (s *Server) Drain() {
 	s.mu.Unlock()
 	s.queue.close()
 	s.pool.Wait()
+	s.mu.Lock()
+	if s.journal != nil {
+		s.journal.Close()
+		s.journal = nil
+	}
+	s.mu.Unlock()
 }
 
 // submit routes work through the cache, the coalescing map and the queue.
 // It returns the job to wait on, the cached artifact when the store
 // already held it (job == nil then), or an admission error.
 func (s *Server) submit(wk work) (j *job, cachedArtifact []byte, err error) {
+	if ferr := runctl.Hit(FPAdmit); ferr != nil {
+		s.cRejected.Inc()
+		return nil, nil, ferr
+	}
 	if wk.key != "" && !wk.nocache && s.store != nil {
 		if data, ok := s.store.Get(wk.key); ok {
 			s.cCacheHits.Inc()
@@ -258,10 +336,12 @@ func (s *Server) submit(wk work) (j *job, cachedArtifact []byte, err error) {
 		kind:     wk.kind,
 		circuit:  wk.circuit,
 		key:      wk.key,
+		client:   wk.client,
 		priority: wk.priority,
 		seq:      s.seq,
 		timeout:  wk.timeout,
 		run:      wk.run,
+		reqJSON:  wk.reqJSON,
 		events:   newEventBuf(s.cfg.EventBuffer),
 		done:     make(chan struct{}),
 	}
@@ -309,6 +389,15 @@ func (s *Server) submit(wk work) (j *job, cachedArtifact []byte, err error) {
 		return nil, nil, qerr
 	}
 	s.cEnqueued.Inc()
+	// The admission record is fsync'd after the push succeeds: a rejected
+	// submission never reaches the journal, and a crash between push and
+	// append can lose only a job whose admission the client never saw
+	// acknowledged. Every acknowledged job is on disk before the HTTP
+	// response carrying its id is written.
+	s.appendJournal(journalRecord{
+		V: journalVersion, Op: opAdmit, Job: j.id, Seq: j.seq,
+		Kind: j.kind, Key: j.key, Client: j.client, Req: j.reqJSON,
+	})
 	return j, nil, nil
 }
 
@@ -349,6 +438,8 @@ func (s *Server) runJob(j *job) {
 	j.setState(stateRunning)
 	qwait := j.queueSpan.End(obs.F("job", j.id))
 	s.col.Histogram("srv.queuewait."+j.kind, latencyBounds...).Observe(qwait.Seconds())
+	s.qwaitAll.Observe(qwait.Seconds())
+	s.appendJournal(journalRecord{V: journalVersion, Op: opStart, Job: j.id, Seq: j.seq, Kind: j.kind})
 
 	s.busy.Add(1)
 	s.gBusy.Add(1)
@@ -377,6 +468,13 @@ func (s *Server) runJob(j *job) {
 	}
 	if !cached {
 		ctx := obs.WithTrace(context.Background(), wtc)
+		ckpt := ""
+		if s.ckptDir != "" {
+			// The checkpoint path is a pure function of the (stable) job id,
+			// so a replayed job finds exactly the file its first life wrote.
+			ckpt = filepath.Join(s.ckptDir, j.id+".ckpt")
+			ctx = withCheckpoint(ctx, ckpt)
+		}
 		cancel := context.CancelFunc(func() {})
 		if j.timeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, j.timeout)
@@ -394,6 +492,10 @@ func (s *Server) runJob(j *job) {
 					}
 				}
 			}()
+			if ferr := runctl.Hit(FPWorker); ferr != nil {
+				err = ferr
+				return
+			}
 			// pprof labels attribute worker CPU samples to the job mix:
 			// `go tool pprof` can slice a daemon profile by job kind and
 			// circuit.
@@ -401,6 +503,13 @@ func (s *Server) runJob(j *job) {
 				data, err = j.run(ctx, wcol)
 			})
 		}()
+		if ckpt != "" {
+			// The job is over either way; a leftover checkpoint would only
+			// cost disk until the id recycles. Failed jobs drop theirs too —
+			// replay re-runs only jobs interrupted by a crash, not jobs that
+			// failed on their own.
+			os.Remove(ckpt)
+		}
 		s.cExecuted.Inc()
 		if err == nil && j.key != "" && s.store != nil {
 			if perr := s.store.Put(j.key, data); perr != nil {
@@ -425,8 +534,34 @@ func (s *Server) runJob(j *job) {
 		delete(s.inflight, j.key)
 	}
 	s.mu.Unlock()
+	done := journalRecord{V: journalVersion, Op: opDone, Job: j.id, Seq: j.seq, Kind: j.kind, OK: err == nil}
+	if err != nil {
+		done.Err = err.Error()
+	}
+	s.appendJournal(done)
 	j.complete(data, err, cached)
 	j.events.close()
+}
+
+// retryAfter computes the Retry-After a 503 carries: the p95 queue wait
+// scaled by how loaded the queue is relative to the worker pool. A cold
+// histogram (nothing dequeued yet) answers 1s; the ceiling is 120s so a
+// pathological backlog never tells clients to go away for an hour.
+func (s *Server) retryAfter() int {
+	st := s.qwaitAll.Stats()
+	if st.Count == 0 || st.P95 <= 0 {
+		return 1
+	}
+	workers := float64(par.Workers(s.cfg.Workers))
+	load := 1 + float64(s.queue.depthNow())/workers
+	sec := int(math.Ceil(st.P95 * load))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 120 {
+		sec = 120
+	}
+	return sec
 }
 
 // latencyBounds cover 0.5ms to ~65s exponentially — the spread between a
@@ -457,6 +592,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	if s.cfg.Debug {
+		mux.HandleFunc("POST /debug/failpoints", s.handleFailpoints)
+	}
 	return mux
 }
 

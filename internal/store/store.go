@@ -14,12 +14,22 @@
 // artifacts, files included. Hit/miss/eviction counters and byte/entry
 // gauges flow through internal/obs.
 //
+// On-disk bytes are never trusted: each artifact file carries a header
+// embedding the SHA-256 of its payload, verified on every Get (and by a
+// startup Scrub). A mismatch — bit-rot, a truncating filesystem, an
+// operator's stray edit — moves the file into the cache's quarantine/
+// subdirectory, counts store.corrupt and store.quarantined, and reports
+// a miss, so the caller transparently recomputes instead of serving
+// wrong bytes. Quarantined files are kept (not deleted) so corruption
+// can be investigated after the fact.
+//
 // The store is safe for concurrent use. Eviction order is a pure function
 // of the access sequence (a logical clock, never wall time), keeping the
 // layer inside the repository's determinism discipline.
 package store
 
 import (
+	"bytes"
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
@@ -37,6 +47,56 @@ import (
 // ext is the artifact file suffix; everything else in the directory is
 // ignored, so a cache dir can host the daemon's manifest alongside.
 const ext = ".art"
+
+// quarantineDir is the subdirectory corrupt artifacts are moved into.
+const quarantineDir = "quarantine"
+
+// magic heads every artifact file, followed by the hex SHA-256 of the
+// payload and a newline, then the payload itself. A file that does not
+// parse under this frame — including pre-integrity legacy files — is
+// treated as corrupt: quarantined and recomputed, never served.
+const magic = "socart1 "
+
+// headerLen is the fixed integrity-frame overhead per file. The byte
+// budget accounts logical payload sizes, so Open subtracts this from the
+// on-disk size when re-indexing.
+const headerLen = len(magic) + 2*sha256.Size + 1
+
+// Failpoint names for the chaos harness: armed via runctl, they fail the
+// Nth read or write as a disk would.
+const (
+	FPRead  = "store.read"
+	FPWrite = "store.write"
+)
+
+// frame wraps payload in the integrity header.
+func frame(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	out := make([]byte, 0, len(magic)+hex.EncodedLen(len(sum))+1+len(payload))
+	out = append(out, magic...)
+	out = append(out, hex.EncodeToString(sum[:])...)
+	out = append(out, '\n')
+	return append(out, payload...)
+}
+
+// unframe validates the integrity header and digest, returning the
+// payload or an error describing how the file is corrupt.
+func unframe(data []byte) ([]byte, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("missing %q header", strings.TrimSpace(magic))
+	}
+	rest := data[len(magic):]
+	nl := bytes.IndexByte(rest, '\n')
+	if nl != hex.EncodedLen(sha256.Size) {
+		return nil, fmt.Errorf("malformed digest line")
+	}
+	want, payload := string(rest[:nl]), rest[nl+1:]
+	sum := sha256.Sum256(payload)
+	if got := hex.EncodeToString(sum[:]); got != want {
+		return nil, fmt.Errorf("payload digest %s does not match recorded %s", got[:12], want[:12])
+	}
+	return payload, nil
+}
 
 // Key derives the content address of an artifact: SHA-256 over the
 // artifact kind (e.g. "atpg", "tdv"), the canonical input bytes (the
@@ -67,12 +127,15 @@ type Store struct {
 	lru     *list.List // front = most recently used
 	bytes   int64
 
-	hits      *obs.Counter
-	misses    *obs.Counter
-	evictions *obs.Counter
-	puts      *obs.Counter
-	gBytes    *obs.Gauge
-	gEntries  *obs.Gauge
+	hits        *obs.Counter
+	misses      *obs.Counter
+	evictions   *obs.Counter
+	puts        *obs.Counter
+	corrupt     *obs.Counter // integrity check failures on read/scrub
+	quarantined *obs.Counter // corrupt files moved into quarantine/
+	readErrs    *obs.Counter // I/O failures reading an indexed artifact
+	gBytes      *obs.Gauge
+	gEntries    *obs.Gauge
 }
 
 // Open creates (if needed) and indexes the artifact directory. maxBytes
@@ -85,16 +148,19 @@ func Open(dir string, maxBytes int64, col *obs.Collector) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
-		dir:       dir,
-		maxBytes:  maxBytes,
-		entries:   make(map[string]*entry),
-		lru:       list.New(),
-		hits:      col.Counter("store.hits"),
-		misses:    col.Counter("store.misses"),
-		evictions: col.Counter("store.evictions"),
-		puts:      col.Counter("store.puts"),
-		gBytes:    col.Gauge("store.bytes"),
-		gEntries:  col.Gauge("store.entries"),
+		dir:         dir,
+		maxBytes:    maxBytes,
+		entries:     make(map[string]*entry),
+		lru:         list.New(),
+		hits:        col.Counter("store.hits"),
+		misses:      col.Counter("store.misses"),
+		evictions:   col.Counter("store.evictions"),
+		puts:        col.Counter("store.puts"),
+		corrupt:     col.Counter("store.corrupt"),
+		quarantined: col.Counter("store.quarantined"),
+		readErrs:    col.Counter("store.read_errors"),
+		gBytes:      col.Gauge("store.bytes"),
+		gEntries:    col.Gauge("store.entries"),
 	}
 	des, err := os.ReadDir(dir)
 	if err != nil {
@@ -111,8 +177,12 @@ func Open(dir string, maxBytes int64, col *obs.Collector) (*Store, error) {
 		if err != nil {
 			continue // raced with deletion; skip
 		}
+		size := info.Size() - int64(headerLen) // logical payload size
+		if size < 0 {
+			size = 0 // foreign/truncated file; quarantined on first read
+		}
 		names = append(names, strings.TrimSuffix(name, ext))
-		sizes[strings.TrimSuffix(name, ext)] = info.Size()
+		sizes[strings.TrimSuffix(name, ext)] = size
 	}
 	sort.Strings(names)
 	s.mu.Lock()
@@ -129,7 +199,9 @@ func (s *Store) path(key string) string { return filepath.Join(s.dir, key+ext) }
 
 // Get returns the artifact bytes for key and marks it most recently used.
 // A missing key — or an indexed key whose file has vanished underneath the
-// store — is a miss.
+// store — is a miss. The payload digest embedded in the file is verified
+// on every read: a corrupt file is quarantined and reported as a miss, so
+// the caller recomputes rather than serving wrong bytes.
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.Lock()
 	e, ok := s.entries[key]
@@ -138,6 +210,13 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	}
 	s.mu.Unlock()
 	if !ok {
+		s.misses.Inc()
+		return nil, false
+	}
+	if err := runctl.Hit(FPRead); err != nil {
+		// An injected (or, in spirit, real transient) read failure: the
+		// index stays intact, the caller recomputes.
+		s.readErrs.Inc()
 		s.misses.Inc()
 		return nil, false
 	}
@@ -153,8 +232,77 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.misses.Inc()
 		return nil, false
 	}
+	payload, err := unframe(data)
+	if err != nil {
+		s.quarantine(key, err)
+		s.misses.Inc()
+		return nil, false
+	}
 	s.hits.Inc()
-	return data, true
+	return payload, true
+}
+
+// quarantine moves a corrupt artifact out of the serving path: the file
+// goes to quarantine/<key>.art (overwriting any earlier quarantined copy)
+// and the key leaves the index, so the next Get is a clean miss.
+func (s *Store) quarantine(key string, reason error) {
+	s.corrupt.Inc()
+	qdir := filepath.Join(s.dir, quarantineDir)
+	moved := false
+	if err := os.MkdirAll(qdir, 0o777); err == nil {
+		if err := os.Rename(s.path(key), filepath.Join(qdir, key+ext)); err == nil {
+			moved = true
+			s.quarantined.Inc()
+		}
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		if moved {
+			// The file is already gone from the main dir; drop only the
+			// index entry (removeLocked would try to delete the file, which
+			// is fine, but the accounting is identical either way).
+			s.lru.Remove(e.elem)
+			delete(s.entries, key)
+			s.bytes -= e.size
+			s.updateGaugesLocked()
+		} else {
+			s.removeLocked(key, e)
+		}
+	}
+	s.mu.Unlock()
+	_ = reason // the caller's counters tell the story; reason aids debugging
+}
+
+// Scrub walks every indexed artifact, verifies its embedded digest, and
+// quarantines corrupt entries — the startup integrity pass a daemon runs
+// before trusting a cache directory it did not just write. It returns how
+// many artifacts were checked and how many failed.
+func (s *Store) Scrub() (checked, corrupt int) {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	for _, key := range keys {
+		checked++
+		data, err := runctl.ReadFile(s.path(key))
+		if err != nil {
+			// Vanished underneath us; Get handles this case lazily too.
+			s.mu.Lock()
+			if e, ok := s.entries[key]; ok {
+				s.removeLocked(key, e)
+			}
+			s.mu.Unlock()
+			continue
+		}
+		if _, err := unframe(data); err != nil {
+			s.quarantine(key, err)
+			corrupt++
+		}
+	}
+	return checked, corrupt
 }
 
 // Contains reports whether key is indexed, without touching the LRU order
@@ -173,7 +321,10 @@ func (s *Store) Contains(key string) bool {
 // than the whole budget is written and immediately evicted — the store
 // never rejects, it just cannot retain it.
 func (s *Store) Put(key string, data []byte) error {
-	if err := runctl.WriteFileAtomic(s.path(key), data); err != nil {
+	if err := runctl.Hit(FPWrite); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := runctl.WriteFileAtomic(s.path(key), frame(data)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.puts.Inc()

@@ -209,6 +209,124 @@ func TestOverwriteRefreshesSize(t *testing.T) {
 	}
 }
 
+// corruptArtifact flips bytes inside the payload of key's on-disk file
+// without disturbing its header — the bit-rot case.
+func corruptArtifact(t *testing.T, dir, key string) {
+	t.Helper()
+	path := filepath.Join(dir, key+ext)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptArtifactQuarantinedAndMissed is the integrity contract: a
+// flipped payload bit is detected on Get, the file moves to quarantine/,
+// the counters record it, and the caller sees a clean miss — never the
+// corrupt bytes.
+func TestCorruptArtifactQuarantinedAndMissed(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	s := open(t, dir, 0, obs.New(reg, nil))
+	key := Key("atpg", []byte("c17"), "opts")
+	want := []byte(`{"coverage":1}` + "\n")
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	corruptArtifact(t, dir, key)
+
+	if data, ok := s.Get(key); ok {
+		t.Fatalf("Get served corrupt bytes %q", data)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["store.corrupt"] != 1 || snap.Counters["store.quarantined"] != 1 {
+		t.Errorf("corrupt/quarantined = %d/%d, want 1/1",
+			snap.Counters["store.corrupt"], snap.Counters["store.quarantined"])
+	}
+	if s.Contains(key) {
+		t.Error("corrupt key still indexed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, key+ext)); err != nil {
+		t.Errorf("quarantined file missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+ext)); !os.IsNotExist(err) {
+		t.Errorf("corrupt file still in serving path: %v", err)
+	}
+
+	// Recompute transparently: a fresh Put of the true bytes serves again.
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("post-recompute Get = %q, %v", got, ok)
+	}
+}
+
+// TestLegacyUnframedFileIsQuarantined: a pre-integrity (or foreign) file
+// without the header must be quarantined, not served as an artifact.
+func TestLegacyUnframedFileIsQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("tdv", []byte("soc"), "")
+	if err := os.WriteFile(filepath.Join(dir, key+ext), []byte("bare bytes"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := open(t, dir, 0, obs.New(reg, nil))
+	if !s.Contains(key) {
+		t.Fatal("Open did not index the legacy file")
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get served an unframed file")
+	}
+	if got := reg.Snapshot().Counters["store.corrupt"]; got != 1 {
+		t.Errorf("corrupt = %d, want 1", got)
+	}
+}
+
+// TestScrubWalksAndQuarantines checks the startup integrity pass: corrupt
+// entries leave the index before they can ever be served, intact entries
+// survive, and the quarantine directory is ignored by a later reindex.
+func TestScrubWalksAndQuarantines(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	s := open(t, dir, 0, obs.New(reg, nil))
+	good := Key("k", []byte("good"), "")
+	bad := Key("k", []byte("bad"), "")
+	if err := s.Put(good, []byte("good data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(bad, []byte("bad data")); err != nil {
+		t.Fatal(err)
+	}
+	corruptArtifact(t, dir, bad)
+
+	s2 := open(t, dir, 0, obs.New(reg, nil))
+	checked, corrupt := s2.Scrub()
+	if checked != 2 || corrupt != 1 {
+		t.Errorf("Scrub = %d checked, %d corrupt; want 2, 1", checked, corrupt)
+	}
+	if s2.Contains(bad) {
+		t.Error("scrubbed corrupt key still indexed")
+	}
+	if data, ok := s2.Get(good); !ok || !bytes.Equal(data, []byte("good data")) {
+		t.Errorf("intact key lost by scrub: %q, %v", data, ok)
+	}
+
+	// A third open must not index quarantine/ contents back in.
+	s3 := open(t, dir, 0, nil)
+	if s3.Contains(bad) {
+		t.Error("reindex resurrected a quarantined key")
+	}
+	if s3.Len() != 1 {
+		t.Errorf("reindex Len = %d, want 1", s3.Len())
+	}
+}
+
 // TestConcurrentAccess hammers the store from many goroutines under -race:
 // the index, the LRU list and the byte accounting must stay consistent.
 func TestConcurrentAccess(t *testing.T) {
