@@ -1,21 +1,31 @@
-// benchjson times the parallel execution layer against its serial
-// baseline and writes the measurements as machine-readable JSON
-// (BENCH_parallel.json by default).
+// benchjson times the performance-critical layers against their serial
+// baselines and writes the measurements as machine-readable JSON, so the
+// BENCH_*.json trajectories stay diffable across PRs.
+//
+// Two modes:
+//
+//   - -mode parallel (default, BENCH_parallel.json): the worker-sharding
+//     layer. Each case times SimulateWorkers / the live SOC run at several
+//     worker counts; speedup is relative to workers=1 within the case.
+//   - -mode kernel (BENCH_kernel.json): the PPSFP fault-simulation kernel.
+//     Each case times the 64-wide bit-parallel engine against the
+//     pattern-at-a-time serial reference engine on one thread; speedup is
+//     relative to the serial engine within the case.
 //
 // Every case is first cross-checked: the timed configurations must produce
-// results identical to the serial run, or the program exits 1 without
-// writing numbers — a speedup measured on divergent output is meaningless.
+// first-detection tables identical to the reference, or the program exits 1
+// without writing numbers — a speedup measured on divergent output is
+// meaningless (verify-then-measure).
 //
-// The speedup column is relative to workers=1 within the same case. On a
-// single-CPU host every configuration shares one core, so speedups hover
-// around 1.0 (the pool's dispatch overhead is the interesting number
-// there); the parallel gain appears on hosts where GOMAXPROCS > 1. The
-// host block records cpus/gomaxprocs so readers can tell which regime a
-// file was measured in.
+// On a single-CPU host -mode parallel speedups hover around 1.0 (the pool's
+// dispatch overhead is the interesting number there), while -mode kernel
+// speedups are real: word packing and cone-limited propagation do not need
+// extra cores. The host block records cpus/gomaxprocs so readers can tell
+// which regime a file was measured in.
 //
 // Usage:
 //
-//	benchjson [-o BENCH_parallel.json] [-quick]
+//	benchjson [-mode parallel|kernel] [-out FILE] [-quick]
 package main
 
 import (
@@ -40,7 +50,11 @@ import (
 )
 
 type result struct {
-	Workers int     `json:"workers"`
+	// Engine identifies the implementation in -mode kernel rows
+	// ("serial" or "ppsfp"); Workers identifies the worker count in
+	// -mode parallel rows. Exactly one of the two is set.
+	Engine  string  `json:"engine,omitempty"`
+	Workers int     `json:"workers,omitempty"`
 	NsPerOp int64   `json:"ns_per_op"`
 	Speedup float64 `json:"speedup"`
 }
@@ -48,10 +62,12 @@ type result struct {
 type benchCase struct {
 	Name     string   `json:"name"`
 	Patterns int      `json:"patterns,omitempty"`
+	Faults   int      `json:"faults,omitempty"`
 	Results  []result `json:"results"`
 }
 
 type report struct {
+	Mode string `json:"mode"`
 	Host struct {
 		CPUs       int    `json:"cpus"`
 		GoMaxProcs int    `json:"gomaxprocs"`
@@ -77,13 +93,9 @@ func standin(name string) *netlist.Circuit {
 	return c
 }
 
-// faultsimCase times SimulateWorkers at each worker count, after checking
-// every count reproduces the serial detection table exactly.
-func faultsimCase(name string, nPatterns int, workers []int) benchCase {
-	c := standin(name)
-	flist := faults.CollapsedUniverse(c)
+func seededPatterns(c *netlist.Circuit, n int) []logic.Cube {
 	r := rand.New(rand.NewSource(3))
-	patterns := make([]logic.Cube, nPatterns)
+	patterns := make([]logic.Cube, n)
 	for i := range patterns {
 		p := make(logic.Cube, len(c.PseudoInputs()))
 		for j := range p {
@@ -91,6 +103,15 @@ func faultsimCase(name string, nPatterns int, workers []int) benchCase {
 		}
 		patterns[i] = p
 	}
+	return patterns
+}
+
+// faultsimCase times SimulateWorkers at each worker count, after checking
+// every count reproduces the serial detection table exactly.
+func faultsimCase(name string, nPatterns int, workers []int) benchCase {
+	c := standin(name)
+	flist := faults.CollapsedUniverse(c)
+	patterns := seededPatterns(c, nPatterns)
 
 	want := faultsim.SimulateWorkers(c, patterns, flist, 1)
 	for _, w := range workers[1:] {
@@ -100,7 +121,7 @@ func faultsimCase(name string, nPatterns int, workers []int) benchCase {
 		}
 	}
 
-	bc := benchCase{Name: "faultsim/" + name, Patterns: nPatterns}
+	bc := benchCase{Name: "faultsim/" + name, Patterns: nPatterns, Faults: len(flist)}
 	var serialNs int64
 	for _, w := range workers {
 		w := w
@@ -119,6 +140,44 @@ func faultsimCase(name string, nPatterns int, workers []int) benchCase {
 			Speedup: round2(float64(serialNs) / float64(ns)),
 		})
 	}
+	return bc
+}
+
+// kernelCase is the serial-vs-PPSFP trajectory: the bit-parallel kernel is
+// first proven to reproduce the serial engine's first-detection table on
+// the exact measured workload, then both are timed single-threaded.
+func kernelCase(name string, nPatterns int) benchCase {
+	c := standin(name)
+	flist := faults.CollapsedUniverse(c)
+	patterns := seededPatterns(c, nPatterns)
+
+	want := faultsim.SerialSimulate(c, patterns, flist)
+	got := faultsim.Simulate(c, patterns, flist)
+	if !reflect.DeepEqual(got.DetectedBy, want.DetectedBy) {
+		fail("kernel %s: PPSFP detection table diverges from the serial engine", name)
+	}
+
+	bc := benchCase{Name: "kernel/" + name, Patterns: nPatterns, Faults: len(flist)}
+	serial := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			faultsim.SerialSimulate(c, patterns, flist)
+		}
+	})
+	ppsfp := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			faultsim.Simulate(c, patterns, flist)
+		}
+	})
+	bc.Results = append(bc.Results, result{
+		Engine:  "serial",
+		NsPerOp: serial.NsPerOp(),
+		Speedup: 1,
+	})
+	bc.Results = append(bc.Results, result{
+		Engine:  "ppsfp",
+		NsPerOp: ppsfp.NsPerOp(),
+		Speedup: round2(float64(serial.NsPerOp()) / float64(ppsfp.NsPerOp())),
+	})
 	return bc
 }
 
@@ -165,22 +224,42 @@ func liveCase(scale float64, workers []int) benchCase {
 func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
 
 func main() {
-	out := flag.String("o", "BENCH_parallel.json", "output `file` for the JSON report")
+	var out string
+	flag.StringVar(&out, "out", "", "output `file` for the JSON report (default BENCH_<mode>.json)")
+	flag.StringVar(&out, "o", "", "alias for -out")
+	mode := flag.String("mode", "parallel", "benchmark `mode`: parallel (worker sharding) or kernel (serial vs PPSFP)")
 	quick := flag.Bool("quick", false, "smaller circuits and pattern counts (smoke mode)")
 	flag.Parse()
 
 	var rep report
+	rep.Mode = *mode
 	rep.Host.CPUs = runtime.NumCPU()
 	rep.Host.GoMaxProcs = runtime.GOMAXPROCS(0)
 	rep.Host.GoVersion = runtime.Version()
 
-	workers := []int{1, 2, 4, 8}
-	if *quick {
-		rep.Cases = append(rep.Cases, faultsimCase("s713", 128, workers))
-	} else {
-		rep.Cases = append(rep.Cases, faultsimCase("s713", 256, workers))
-		rep.Cases = append(rep.Cases, faultsimCase("s1423", 256, workers))
-		rep.Cases = append(rep.Cases, liveCase(0.35, []int{1, 2, 4}))
+	switch *mode {
+	case "parallel":
+		workers := []int{1, 2, 4, 8}
+		if *quick {
+			rep.Cases = append(rep.Cases, faultsimCase("s713", 128, workers))
+		} else {
+			rep.Cases = append(rep.Cases, faultsimCase("s713", 256, workers))
+			rep.Cases = append(rep.Cases, faultsimCase("s1423", 256, workers))
+			rep.Cases = append(rep.Cases, liveCase(0.35, []int{1, 2, 4}))
+		}
+	case "kernel":
+		if *quick {
+			rep.Cases = append(rep.Cases, kernelCase("s713", 128))
+		} else {
+			for _, name := range []string{"s713", "s1423", "s5378", "s13207"} {
+				rep.Cases = append(rep.Cases, kernelCase(name, 256))
+			}
+		}
+	default:
+		fail("unknown -mode %q (want parallel or kernel)", *mode)
+	}
+	if out == "" {
+		out = "BENCH_" + *mode + ".json"
 	}
 
 	var buf bytes.Buffer
@@ -189,9 +268,9 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		fail("encode: %v", err)
 	}
-	if err := runctl.WriteFileAtomic(*out, buf.Bytes()); err != nil {
+	if err := runctl.WriteFileAtomic(out, buf.Bytes()); err != nil {
 		fail("%v", err)
 	}
-	fmt.Printf("wrote %s (cpus=%d gomaxprocs=%d, %d cases)\n",
-		*out, rep.Host.CPUs, rep.Host.GoMaxProcs, len(rep.Cases))
+	fmt.Printf("wrote %s (mode=%s cpus=%d gomaxprocs=%d, %d cases)\n",
+		out, *mode, rep.Host.CPUs, rep.Host.GoMaxProcs, len(rep.Cases))
 }

@@ -139,3 +139,36 @@ func TestCheckpointCrossWorkerResume(t *testing.T) {
 		})
 	}
 }
+
+// TestCacheKeyIdenticalAcrossWorkers covers the serving layer's determinism
+// dependency: socd's content-addressed cache keys an ATPG artifact by
+// OptionsHash and stores EncodeSummary bytes. Both must be invariant under
+// the worker count (and therefore under the PPSFP kernel's sharding), or a
+// warm hit computed at -workers=8 could differ from a cold run at
+// -workers=1.
+func TestCacheKeyIdenticalAcrossWorkers(t *testing.T) {
+	c := standin(t, "s953")
+	n := NumFaultsFor(c)
+	var wantHash string
+	var wantBytes []byte
+	for i, w := range []int{1, 2, 4, 8} {
+		opts := DefaultOptions()
+		opts.Workers = w
+		hash := OptionsHash(c, n, opts)
+		res := Generate(c, opts)
+		enc, err := EncodeSummary(res.Summary("s953"))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if i == 0 {
+			wantHash, wantBytes = hash, enc
+			continue
+		}
+		if hash != wantHash {
+			t.Fatalf("workers=%d: options hash %s differs from serial %s", w, hash, wantHash)
+		}
+		if !bytes.Equal(enc, wantBytes) {
+			t.Fatalf("workers=%d: summary bytes differ from serial (%d vs %d bytes)", w, len(enc), len(wantBytes))
+		}
+	}
+}

@@ -50,3 +50,28 @@ func BenchmarkShardDetectOnly(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkKernelVsSerial measures the PPSFP kernel against the
+// pattern-at-a-time serial reference engine — the speedup the 64-wide
+// packing plus event-driven cone propagation buys on one thread.
+// cmd/benchjson records the committed trajectory (BENCH_kernel.json);
+// this benchmark is the in-tree smoke handle for the same comparison.
+func BenchmarkKernelVsSerial(b *testing.B) {
+	for _, name := range []string{"s713", "s1423"} {
+		c := standinCircuit(b, name)
+		flist := faults.CollapsedUniverse(c)
+		r := rand.New(rand.NewSource(3))
+		patterns := randomPatterns(r, len(c.PseudoInputs()), 128)
+		b.Run(name+"/ppsfp", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Simulate(c, patterns, flist)
+			}
+		})
+		b.Run(name+"/serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SerialSimulate(c, patterns, flist)
+			}
+		})
+	}
+}

@@ -1,0 +1,295 @@
+package faultsim
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// This file compiles a finalized netlist into a Program: a flat,
+// topologically ordered evaluation form that the PPSFP kernel runs over.
+// Compilation happens once per Engine; every per-pattern-batch and per-fault
+// cost after that is array walks over int32 indices — no map lookups, no
+// Gate pointer chasing, no per-gate scratch refills.
+
+// pOp is a compiled gate opcode. The twelve netlist gate types collapse to
+// three word-wide reductions (AND, OR, XOR) with an output-inversion word,
+// plus buffer, constant and source forms. Arity-2 gates (the overwhelming
+// majority in ISCAS-style netlists) get dedicated opcodes so the hot loops
+// read both fanins without bounds-checked slice iteration.
+type pOp uint8
+
+const (
+	pSource pOp = iota // Input or DFF output: a value source, never evaluated
+	pBuf               // 1 fanin: out = in ^ inv (NOT is pBuf with inv = ^0)
+	pAnd2              // 2 fanin AND ^ inv (NAND: inv = ^0)
+	pOr2               // 2 fanin OR ^ inv (NOR: inv = ^0)
+	pXor2              // 2 fanin XOR ^ inv (XNOR: inv = ^0)
+	pAndN              // N fanin AND ^ inv
+	pOrN               // N fanin OR ^ inv
+	pXorN              // N fanin XOR ^ inv
+	pConst             // 0 fanin: out = inv (CONST0: 0, CONST1: ^0)
+)
+
+// compileOp maps a gate type and arity to its opcode and inversion word.
+func compileOp(t netlist.GateType, arity int) (pOp, uint64) {
+	const allOnes = ^uint64(0)
+	switch t {
+	case netlist.Input, netlist.DFF:
+		return pSource, 0
+	case netlist.Buf:
+		return pBuf, 0
+	case netlist.Not:
+		return pBuf, allOnes
+	case netlist.And:
+		if arity == 2 {
+			return pAnd2, 0
+		}
+		return pAndN, 0
+	case netlist.Nand:
+		if arity == 2 {
+			return pAnd2, allOnes
+		}
+		return pAndN, allOnes
+	case netlist.Or:
+		if arity == 2 {
+			return pOr2, 0
+		}
+		return pOrN, 0
+	case netlist.Nor:
+		if arity == 2 {
+			return pOr2, allOnes
+		}
+		return pOrN, allOnes
+	case netlist.Xor:
+		if arity == 2 {
+			return pXor2, 0
+		}
+		return pXorN, 0
+	case netlist.Xnor:
+		if arity == 2 {
+			return pXor2, allOnes
+		}
+		return pXorN, allOnes
+	case netlist.Const0:
+		return pConst, 0
+	case netlist.Const1:
+		return pConst, allOnes
+	}
+	panic(fmt.Sprintf("faultsim: compile of invalid gate type %v", t))
+}
+
+// Program is the compiled, levelized evaluation form of a circuit: per-gate
+// opcodes and inversion words, flat fanin and combinational-fanout
+// adjacency (CSR layout), combinational levels, the topological evaluation
+// order, and the observability flags of the pseudo-output frame. A Program
+// is immutable after Compile and safe for concurrent readers; the PPSFP
+// kernel's mutable per-fault state lives in faultEval, one per worker.
+type Program struct {
+	c *netlist.Circuit
+
+	op  []pOp    // per gate
+	inv []uint64 // per gate output inversion word
+
+	faninOff []int32 // len NumGates+1; fanins[faninOff[g]:faninOff[g+1]]
+	fanins   []int32
+
+	// Combinational fanout adjacency. Edges into DFF data pins are cut —
+	// they are observation boundaries, not propagation paths — exactly
+	// mirroring the netlist levelization.
+	fanoutOff []int32
+	fanouts   []int32
+
+	level    []int32 // combinational level; sources are 0
+	order    []int32 // combinational gates in topological order
+	observed []bool  // gate drives >= 1 pseudo-output frame position
+	maxLevel int32
+
+	ppis []netlist.GateID
+	ppos []netlist.GateID
+}
+
+// Compile levelizes the finalized circuit into a Program. It panics on a
+// non-finalized circuit, matching NewEngine.
+func Compile(c *netlist.Circuit) *Program {
+	if !c.Finalized() {
+		panic("faultsim: Compile on non-finalized circuit")
+	}
+	n := c.NumGates()
+	p := &Program{
+		c:        c,
+		op:       make([]pOp, n),
+		inv:      make([]uint64, n),
+		level:    make([]int32, n),
+		observed: make([]bool, n),
+		ppis:     c.PseudoInputs(),
+		ppos:     c.PseudoOutputs(),
+	}
+
+	// Opcodes, levels and fanin CSR.
+	p.faninOff = make([]int32, n+1)
+	for id := 0; id < n; id++ {
+		g := c.Gate(netlist.GateID(id))
+		p.op[id], p.inv[id] = compileOp(g.Type, len(g.Fanin))
+		p.level[id] = int32(c.Level(g.ID))
+		if p.level[id] > p.maxLevel {
+			p.maxLevel = p.level[id]
+		}
+		p.faninOff[id+1] = p.faninOff[id] + int32(len(g.Fanin))
+	}
+	p.fanins = make([]int32, p.faninOff[n])
+	for id := 0; id < n; id++ {
+		off := p.faninOff[id]
+		for j, f := range c.Gate(netlist.GateID(id)).Fanin {
+			p.fanins[off+int32(j)] = int32(f)
+		}
+	}
+
+	// Combinational fanout CSR: count, prefix-sum, fill. Consumers that are
+	// DFFs (or, degenerately, Inputs) are skipped.
+	counts := make([]int32, n)
+	for id := 0; id < n; id++ {
+		if p.op[id] == pSource {
+			continue
+		}
+		for _, f := range c.Gate(netlist.GateID(id)).Fanin {
+			counts[f]++
+		}
+	}
+	p.fanoutOff = make([]int32, n+1)
+	for id := 0; id < n; id++ {
+		p.fanoutOff[id+1] = p.fanoutOff[id] + counts[id]
+	}
+	p.fanouts = make([]int32, p.fanoutOff[n])
+	fill := make([]int32, n)
+	for id := 0; id < n; id++ {
+		if p.op[id] == pSource {
+			continue
+		}
+		for _, f := range c.Gate(netlist.GateID(id)).Fanin {
+			p.fanouts[p.fanoutOff[f]+fill[f]] = int32(id)
+			fill[f]++
+		}
+	}
+
+	order := c.TopoOrder()
+	p.order = make([]int32, len(order))
+	for i, id := range order {
+		p.order[i] = int32(id)
+	}
+	for _, id := range p.ppos {
+		p.observed[id] = true
+	}
+	return p
+}
+
+// Circuit returns the circuit the program was compiled from.
+func (p *Program) Circuit() *netlist.Circuit { return p.c }
+
+// Load packs up to 64 stimulus cubes into the source words of the value
+// array (one bit per pattern, X loaded as 0 — the engine's deterministic
+// X-fill convention) and returns the mask covering the valid pattern bits.
+// words must have length NumGates.
+func (p *Program) Load(words []uint64, batch []logic.Cube) uint64 {
+	if len(batch) == 0 || len(batch) > 64 {
+		panic(fmt.Sprintf("faultsim: Program.Load batch size %d out of range 1..64", len(batch)))
+	}
+	for i := range words {
+		words[i] = 0
+	}
+	for k, cube := range batch {
+		if len(cube) != len(p.ppis) {
+			panic(fmt.Sprintf("faultsim: pattern %d length %d != %d pseudo inputs", k, len(cube), len(p.ppis)))
+		}
+		bit := uint64(1) << uint(k)
+		for i, id := range p.ppis {
+			if cube[i] == logic.One {
+				words[id] |= bit
+			}
+		}
+	}
+	if len(batch) >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(len(batch))) - 1
+}
+
+// Run evaluates the combinational logic over the loaded value words in
+// compiled topological order. This is the good-circuit half of a PPSFP
+// batch: one pass computes all 64 patterns' values for every gate.
+func (p *Program) Run(words []uint64) {
+	fanins, faninOff := p.fanins, p.faninOff
+	for _, id := range p.order {
+		off := faninOff[id]
+		var v uint64
+		switch p.op[id] {
+		case pBuf:
+			v = words[fanins[off]]
+		case pAnd2:
+			v = words[fanins[off]] & words[fanins[off+1]]
+		case pOr2:
+			v = words[fanins[off]] | words[fanins[off+1]]
+		case pXor2:
+			v = words[fanins[off]] ^ words[fanins[off+1]]
+		case pAndN:
+			v = ^uint64(0)
+			for _, f := range fanins[off:faninOff[id+1]] {
+				v &= words[f]
+			}
+		case pOrN:
+			for _, f := range fanins[off:faninOff[id+1]] {
+				v |= words[f]
+			}
+		case pXorN:
+			for _, f := range fanins[off:faninOff[id+1]] {
+				v ^= words[f]
+			}
+		case pConst:
+			// v stays 0; inv supplies CONST1.
+		default:
+			panic(fmt.Sprintf("faultsim: Run hit source gate %d in topo order", id))
+		}
+		words[id] = v ^ p.inv[id]
+	}
+}
+
+// evalWords evaluates the single gate id over explicitly supplied fanin
+// value words (len = the gate's arity). Used for fault injection on a
+// branch: one gate recomputed with one pin forced. It panics on source
+// gates — a branch fault on an Input is meaningless and one on a DFF data
+// pin is handled by the kernel before evaluation.
+func (p *Program) evalWords(id int32, in []uint64) uint64 {
+	var v uint64
+	switch p.op[id] {
+	case pBuf:
+		v = in[0]
+	case pAnd2:
+		v = in[0] & in[1]
+	case pOr2:
+		v = in[0] | in[1]
+	case pXor2:
+		v = in[0] ^ in[1]
+	case pAndN:
+		v = ^uint64(0)
+		for _, w := range in {
+			v &= w
+		}
+	case pOrN:
+		for _, w := range in {
+			v |= w
+		}
+	case pXorN:
+		for _, w := range in {
+			v ^= w
+		}
+	case pConst:
+	default:
+		panic(fmt.Sprintf("faultsim: branch fault evaluation on non-combinational gate %v", p.c.Gate(netlist.GateID(id)).Type))
+	}
+	return v ^ p.inv[id]
+}
+
+// NumLevels returns the number of distinct combinational levels
+// (maxLevel + 1); the kernel sizes its per-level event buckets with it.
+func (p *Program) NumLevels() int { return int(p.maxLevel) + 1 }

@@ -1,7 +1,12 @@
 // Package faultsim implements stuck-at fault simulation over full-scan
-// circuits: a 64-way bit-parallel engine with fault dropping (the workhorse
-// behind ATPG and coverage reporting) and a slow serial reference
-// implementation used to cross-check it in tests.
+// circuits. The workhorse is a 64-wide PPSFP (parallel-pattern single-fault
+// propagation) engine with fault dropping: the netlist is compiled once into
+// a levelized evaluation Program, 64 patterns are packed per machine word,
+// the good circuit is evaluated in one word-wide pass per batch, and each
+// fault is then propagated event-driven through its fanout cone only. Two
+// deliberately independent reference implementations cross-check it: the
+// pattern-at-a-time serial engine (SerialSimulate/SerialDetects, any input
+// width) and the exhaustive brute-force Oracle (<= 16 inputs).
 package faultsim
 
 import (
@@ -76,9 +81,15 @@ func SimulateContext(ctx context.Context, c *netlist.Circuit, patterns []logic.C
 // Engine is an incremental fault simulator: patterns are fed in batches via
 // Apply, detected faults are dropped, and Remaining reports the survivors.
 // ATPG drives an Engine pattern by pattern.
+//
+// Internally the engine is a 64-wide PPSFP (parallel-pattern single-fault
+// propagation) kernel over a compiled Program: the good circuit is evaluated
+// once per 64-pattern batch in compiled topological order, then each
+// remaining fault is propagated event-driven through its fanout cone only,
+// with word-wide operations and a per-fault detection mask.
 type Engine struct {
 	c    *netlist.Circuit
-	psim *sim.PSim
+	prog *Program
 
 	flist      []faults.Fault
 	detectedBy []int // parallel to flist
@@ -119,21 +130,26 @@ var minShardFaults = 128
 
 // faultEval holds the per-goroutine scratch state of single-fault
 // propagation: the epoch-validated faulty words over the good-circuit words
-// of the engine's current batch. Each worker owns one evaluator, so sharded
-// detection touches no shared mutable state.
+// of the engine's current batch, plus the level-bucketed event queue that
+// drives propagation through the fault's fanout cone. Each worker owns one
+// evaluator, so sharded detection touches no shared mutable state.
 type faultEval struct {
 	e       *Engine
 	fw      []uint64 // faulty words (epoch-validated)
-	epoch   []uint32
+	epoch   []uint32 // fw[g] valid iff epoch[g] == cur
+	inq     []uint32 // g enqueued this fault iff inq[g] == cur
 	cur     uint32
+	buckets [][]int32 // per-level event queue, reused across faults
 	scratch []uint64
 }
 
 func newFaultEval(e *Engine) *faultEval {
 	return &faultEval{
-		e:     e,
-		fw:    make([]uint64, e.c.NumGates()),
-		epoch: make([]uint32, e.c.NumGates()),
+		e:       e,
+		fw:      make([]uint64, e.c.NumGates()),
+		epoch:   make([]uint32, e.c.NumGates()),
+		inq:     make([]uint32, e.c.NumGates()),
+		buckets: make([][]int32, e.prog.NumLevels()),
 	}
 }
 
@@ -151,7 +167,7 @@ func NewEngine(c *netlist.Circuit, flist []faults.Fault) *Engine {
 	}
 	e := &Engine{
 		c:          c,
-		psim:       sim.NewPSim(c),
+		prog:       Compile(c),
 		flist:      flist,
 		detectedBy: make([]int, len(flist)),
 		good:       make([]uint64, c.NumGates()),
@@ -306,12 +322,8 @@ func (e *Engine) applyBatch(batch []logic.Cube, baseIndex int) int {
 	if len(e.remaining) == 0 {
 		return 0
 	}
-	e.psim.Load(batch)
-	e.psim.Run()
-	for id := 0; id < e.c.NumGates(); id++ {
-		e.good[id] = e.psim.Word(netlist.GateID(id))
-	}
-	mask := e.psim.Mask()
+	mask := e.prog.Load(e.good, batch)
+	e.prog.Run(e.good)
 
 	// Detection words come either from the per-worker shards (index-
 	// addressed slots, one per remaining fault) or from the serial
@@ -409,8 +421,18 @@ func (ev *faultEval) detectWord(f faults.Fault, mask uint64) uint64 {
 // detectWordDetail is detectWord with an optional per-output capture:
 // when perPPO is non-nil (length = pseudo-output frame), perPPO[i] receives
 // the word of patterns failing at output i.
+//
+// Propagation is event-driven over the compiled Program: the fault is
+// injected at its site, the site's combinational fanouts are pushed onto a
+// level-bucketed queue, and only gates with a changed fanin are ever
+// evaluated, in ascending level order. Because every gate's level is
+// strictly greater than all of its fanins' levels, each gate is evaluated
+// at most once, after all its changed fanins are final — so the set of
+// changed gates (and hence the detection word) is exactly what a full
+// topological sweep would compute, at the cost of the fault's cone.
 func (ev *faultEval) detectWordDetail(f faults.Fault, mask uint64, perPPO []uint64) uint64 {
 	e := ev.e
+	p := e.prog
 	stuck := uint64(0)
 	if f.Stuck == logic.One {
 		stuck = ^uint64(0)
@@ -424,8 +446,8 @@ func (ev *faultEval) detectWordDetail(f faults.Fault, mask uint64, perPPO []uint
 		det := (e.good[drv] ^ stuck) & mask
 		if perPPO != nil {
 			if pos, ok := e.dffPPO[f.Gate]; ok {
-				for _, p := range pos {
-					perPPO[p] = det
+				for _, pp := range pos {
+					perPPO[pp] = det
 				}
 			}
 		}
@@ -436,21 +458,19 @@ func (ev *faultEval) detectWordDetail(f faults.Fault, mask uint64, perPPO []uint
 	if ev.cur == 0 { // epoch wrapped: reset
 		for i := range ev.epoch {
 			ev.epoch[i] = 0
+			ev.inq[i] = 0
 		}
 		ev.cur = 1
 	}
 
-	var site netlist.GateID
+	site := int32(f.Gate)
 	if f.Pin == faults.StemPin {
-		site = f.Gate
 		ev.fw[site] = stuck
-		ev.epoch[site] = ev.cur
 	} else {
 		// Branch fault: recompute gate f.Gate with pin forced.
-		site = f.Gate
-		ev.fw[site] = ev.evalWithPin(g, f.Pin, stuck)
-		ev.epoch[site] = ev.cur
+		ev.fw[site] = ev.evalWithPin(site, f.Pin, stuck)
 	}
+	ev.epoch[site] = ev.cur
 	if ev.fw[site] == e.good[site] {
 		// The fault never changes the site value for this batch — but a
 		// stem stuck fault still differs wherever good != stuck; that IS
@@ -458,52 +478,88 @@ func (ev *faultEval) detectWordDetail(f faults.Fault, mask uint64, perPPO []uint
 		return 0
 	}
 
-	// Propagate through the topological order. The site keeps its injected
-	// value, and gates at or below the site's level cannot be downstream
-	// of it, so both are skipped.
-	siteLevel := e.c.Level(site)
-	for _, id := range e.c.TopoOrder() {
-		if id == site || e.c.Level(id) <= siteLevel {
-			continue
-		}
-		gg := e.c.Gate(id)
-		touched := false
-		for _, fin := range gg.Fanin {
-			if ev.epoch[fin] == ev.cur {
-				touched = true
-				break
+	var det uint64
+	if p.observed[site] {
+		det = (ev.fw[site] ^ e.good[site]) & mask
+	}
+	// Seed the event queue with the site's combinational fanouts. Every
+	// fanout's level exceeds the site's, so processing levels upward from
+	// there visits each cone gate exactly once.
+	maxLvl := p.level[site]
+	for _, s := range p.fanouts[p.fanoutOff[site]:p.fanoutOff[site+1]] {
+		if ev.inq[s] != ev.cur {
+			ev.inq[s] = ev.cur
+			l := p.level[s]
+			ev.buckets[l] = append(ev.buckets[l], s)
+			if l > maxLvl {
+				maxLvl = l
 			}
-		}
-		if !touched {
-			continue
-		}
-		if cap(ev.scratch) < len(gg.Fanin) {
-			ev.scratch = make([]uint64, len(gg.Fanin))
-		}
-		in := ev.scratch[:len(gg.Fanin)]
-		for j, fin := range gg.Fanin {
-			if ev.epoch[fin] == ev.cur {
-				in[j] = ev.fw[fin]
-			} else {
-				in[j] = e.good[fin]
-			}
-		}
-		v := sim.EvalGateWord(gg.Type, in)
-		if v != e.good[id] {
-			ev.fw[id] = v
-			ev.epoch[id] = ev.cur
 		}
 	}
 
-	// Detection: any pseudo output whose faulty word differs from good.
-	// PseudoOutputs holds driver gates, so a directly observed site (a PO
-	// or a gate feeding a DFF) is covered by the same comparison.
-	var det uint64
-	for i, id := range e.ppos {
-		if ev.epoch[id] == ev.cur {
-			d := (ev.fw[id] ^ e.good[id]) & mask
-			det |= d
-			if perPPO != nil {
+	fanins, faninOff := p.fanins, p.faninOff
+	for lvl := p.level[site] + 1; lvl <= maxLvl; lvl++ {
+		bucket := ev.buckets[lvl]
+		ev.buckets[lvl] = bucket[:0]
+		for _, id := range bucket {
+			off := faninOff[id]
+			var v uint64
+			switch p.op[id] {
+			case pBuf:
+				v = ev.val(fanins[off])
+			case pAnd2:
+				v = ev.val(fanins[off]) & ev.val(fanins[off+1])
+			case pOr2:
+				v = ev.val(fanins[off]) | ev.val(fanins[off+1])
+			case pXor2:
+				v = ev.val(fanins[off]) ^ ev.val(fanins[off+1])
+			case pAndN:
+				v = ^uint64(0)
+				for _, fi := range fanins[off:faninOff[id+1]] {
+					v &= ev.val(fi)
+				}
+			case pOrN:
+				for _, fi := range fanins[off:faninOff[id+1]] {
+					v |= ev.val(fi)
+				}
+			case pXorN:
+				for _, fi := range fanins[off:faninOff[id+1]] {
+					v ^= ev.val(fi)
+				}
+			case pConst:
+				// Constants have no fanin; they can never be enqueued.
+			}
+			v ^= p.inv[id]
+			if v == e.good[id] {
+				continue
+			}
+			ev.fw[id] = v
+			ev.epoch[id] = ev.cur
+			if p.observed[id] {
+				det |= (v ^ e.good[id]) & mask
+			}
+			for _, s := range p.fanouts[p.fanoutOff[id]:p.fanoutOff[id+1]] {
+				if ev.inq[s] != ev.cur {
+					ev.inq[s] = ev.cur
+					l := p.level[s]
+					ev.buckets[l] = append(ev.buckets[l], s)
+					if l > maxLvl {
+						maxLvl = l
+					}
+				}
+			}
+		}
+	}
+
+	if perPPO != nil {
+		// Detail capture: re-derive the detection word per observation
+		// position. PseudoOutputs holds driver gates, so a directly
+		// observed site is covered by the same comparison.
+		det = 0
+		for i, id := range e.ppos {
+			if ev.epoch[id] == ev.cur {
+				d := (ev.fw[id] ^ e.good[id]) & mask
+				det |= d
 				perPPO[i] = d
 			}
 		}
@@ -511,24 +567,33 @@ func (ev *faultEval) detectWordDetail(f faults.Fault, mask uint64, perPPO []uint
 	return det & mask
 }
 
-// evalWithPin recomputes gate g with fanin pin forced to the given word and
-// all other fanins at their good values.
-func (ev *faultEval) evalWithPin(g *netlist.Gate, pin int, forced uint64) uint64 {
-	if cap(ev.scratch) < len(g.Fanin) {
-		ev.scratch = make([]uint64, len(g.Fanin))
+// val returns gate id's word under the current fault: the faulty word when
+// the gate changed this epoch, the good-circuit word otherwise.
+func (ev *faultEval) val(id int32) uint64 {
+	if ev.epoch[id] == ev.cur {
+		return ev.fw[id]
 	}
-	in := ev.scratch[:len(g.Fanin)]
-	for j, fin := range g.Fanin {
+	return ev.e.good[id]
+}
+
+// evalWithPin recomputes gate id with fanin pin forced to the given word
+// and all other fanins at their good values.
+func (ev *faultEval) evalWithPin(id int32, pin int, forced uint64) uint64 {
+	p := ev.e.prog
+	off, end := p.faninOff[id], p.faninOff[id+1]
+	arity := int(end - off)
+	if cap(ev.scratch) < arity {
+		ev.scratch = make([]uint64, arity)
+	}
+	in := ev.scratch[:arity]
+	for j, fin := range p.fanins[off:end] {
 		if j == pin {
 			in[j] = forced
 		} else {
 			in[j] = ev.e.good[fin]
 		}
 	}
-	if !g.Type.Combinational() {
-		panic(fmt.Sprintf("faultsim: branch fault on non-combinational gate %v", g.Type))
-	}
-	return sim.EvalGateWord(g.Type, in)
+	return p.evalWords(id, in)
 }
 
 // FailingPositions runs the fault against the pattern set and returns, per
@@ -544,15 +609,12 @@ func FailingPositions(c *netlist.Circuit, patterns []logic.Cube, f faults.Fault)
 		if end > len(patterns) {
 			end = len(patterns)
 		}
-		e.psim.Load(patterns[off:end])
-		e.psim.Run()
-		for id := 0; id < e.c.NumGates(); id++ {
-			e.good[id] = e.psim.Word(netlist.GateID(id))
-		}
+		mask := e.prog.Load(e.good, patterns[off:end])
+		e.prog.Run(e.good)
 		for i := range perPPO {
 			perPPO[i] = 0
 		}
-		e.ev.detectWordDetail(f, e.psim.Mask(), perPPO)
+		e.ev.detectWordDetail(f, mask, perPPO)
 		for i, w := range perPPO {
 			for w != 0 {
 				k := trailingZeros(w)

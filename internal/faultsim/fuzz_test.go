@@ -1,0 +1,82 @@
+package faultsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+)
+
+// FuzzPPSFPWord cross-checks one packed word of the PPSFP kernel against 64
+// independent serial evaluations: for an arbitrary parsed netlist, an
+// arbitrary fault and an arbitrary batch of up to 64 random patterns, bit k
+// of the kernel's detection behaviour (both the plain detection path and
+// the per-output detail path) must agree with SerialDetects /
+// SerialFailingOutputs run on pattern k alone — and, on circuits narrow
+// enough, with the brute-force Oracle too.
+func FuzzPPSFPWord(f *testing.F) {
+	f.Add(c17Bench, int64(1), uint16(0), uint8(64))
+	f.Add(c17Bench, int64(7), uint16(13), uint8(1))
+	f.Add(seqBench, int64(3), uint16(5), uint8(63))
+	f.Add("INPUT(a)\nOUTPUT(y)\nn = NOT(a)\nf = DFF(n)\ny = AND(n, f)\n", int64(9), uint16(2), uint8(65))
+	f.Add("x = CONST1()\nOUTPUT(x)\n", int64(1), uint16(0), uint8(5))
+	f.Fuzz(func(t *testing.T, src string, seed int64, faultSel uint16, nPat uint8) {
+		c, err := netlist.ParseBenchString("fuzz", src)
+		if err != nil {
+			return
+		}
+		if c.NumGates() > 400 {
+			return // keep a fuzz iteration cheap
+		}
+		flist := faults.Universe(c)
+		if len(flist) == 0 {
+			return
+		}
+		fault := flist[int(faultSel)%len(flist)]
+		n := 1 + int(nPat)%64
+		r := rand.New(rand.NewSource(seed))
+		patterns := randomPatterns(r, len(c.PseudoInputs()), n)
+
+		// Kernel, detection path: first-detecting pattern index.
+		res := Simulate(c, patterns, []faults.Fault{fault})
+		// Kernel, detail path: per-pattern failing output positions.
+		positions := FailingPositions(c, patterns, fault)
+
+		var oracle *Oracle
+		if len(c.PseudoInputs()) <= MaxOracleInputs {
+			oracle = NewOracle(c)
+		}
+		wantFirst := Undetected
+		for k, p := range patterns {
+			want := SerialFailingOutputs(c, p, fault)
+			if wantFirst == Undetected && len(want) > 0 {
+				wantFirst = k
+			}
+			got := positions[k]
+			if len(got) != len(want) {
+				t.Fatalf("fault %s pattern %d: kernel positions %v, serial %v",
+					fault.String(c), k, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("fault %s pattern %d: kernel positions %v, serial %v",
+						fault.String(c), k, got, want)
+				}
+			}
+			if det := SerialDetects(c, p, fault); det != (len(want) > 0) {
+				t.Fatalf("serial self-contradiction on pattern %d", k)
+			}
+			if oracle != nil {
+				if od := oracle.Detects(p, fault); od != (len(want) > 0) {
+					t.Fatalf("fault %s pattern %d: oracle %v, serial %v",
+						fault.String(c), k, od, len(want) > 0)
+				}
+			}
+		}
+		if res.DetectedBy[0] != wantFirst {
+			t.Fatalf("fault %s: kernel first-detect %d, serial %d",
+				fault.String(c), res.DetectedBy[0], wantFirst)
+		}
+	})
+}

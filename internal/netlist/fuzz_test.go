@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -52,6 +53,29 @@ func FuzzParseBench(f *testing.F) {
 	f.Add("\r\nINPUT(a)\r\nOUTPUT(y)\r\ny = BUF(a)\r\n")
 	f.Add("#comment only\n   \n\t\nINPUT(a)\nOUTPUT(a)")
 	f.Add("input(a)\noutput(y)\ny = inv(a)\nINPUT = buff(y) # net named INPUT\n")
+	// Levelizer stressors, built programmatically so the corpus scales past
+	// what a readable literal allows: a 300-deep chain, a stem with fanout
+	// 120 feeding one wide gate, and a block of redundant/dead gates.
+	// (Smaller on-disk cousins live in testdata/{deepchain,widefan,
+	// redundant}.bench and are seeded below.)
+	var deep strings.Builder
+	deep.WriteString("INPUT(a)\nOUTPUT(n300)\n")
+	for i := 1; i <= 300; i++ {
+		fmt.Fprintf(&deep, "n%d = NOT(n%d)\n", i, i-1)
+	}
+	f.Add(strings.Replace(deep.String(), "NOT(n0)", "NOT(a)", 1))
+	var wide strings.Builder
+	wide.WriteString("INPUT(a)\nOUTPUT(y)\n")
+	for i := 0; i < 120; i++ {
+		fmt.Fprintf(&wide, "w%d = NOT(a)\n", i)
+	}
+	wide.WriteString("y = OR(w0")
+	for i := 1; i < 120; i++ {
+		fmt.Fprintf(&wide, ", w%d", i)
+	}
+	wide.WriteString(")\n")
+	f.Add(wide.String())
+	f.Add("INPUT(a)\nOUTPUT(y)\nd1 = AND(a, a)\nd2 = AND(a, a)\nc0 = XOR(a, a)\ndead = NOR(d2, c0)\ny = OR(d1, c0)\n")
 	seedFromTestdata(f)
 	f.Fuzz(func(t *testing.T, src string) {
 		c, err := ParseBenchString("fuzz", src)
