@@ -8,6 +8,7 @@
 //	atpgrun -standin s953          # run on a generated ISCAS'89 stand-in
 //	atpgrun -f core.bench -cones   # per-cone decomposition (paper Sec. 3)
 //	atpgrun -f core.bench -lint    # design-rule preflight; refuse on errors
+//	atpgrun -f core.bench -sat-prove  # settle aborted faults with the SAT prover
 //
 // Robustness:
 //
@@ -48,6 +49,7 @@ import (
 	"repro/internal/bench89"
 	"repro/internal/cli"
 	"repro/internal/cones"
+	"repro/internal/faults"
 	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/obs"
@@ -73,6 +75,7 @@ func run() int {
 		verbose   = flag.Bool("v", false, "list aborted and redundant faults")
 		coneMode  = flag.Bool("cones", false, "per-cone analysis instead of whole-circuit ATPG")
 		lintPre   = flag.Bool("lint", false, "preflight the netlist through the design-rule linter; refuse to run on errors")
+		satProve  = flag.Bool("sat-prove", false, "settle every aborted fault with the SAT redundancy prover: prove it redundant or add a proven test cube (exact coverage)")
 		jsonOut   = flag.Bool("json", false, "write the run manifest as JSON to stdout instead of the human summary")
 		workers   = flag.Int("workers", 0, "worker pool bound for parallel fault simulation (0 = NumCPU, 1 = serial; results are identical for every value)")
 	)
@@ -88,6 +91,10 @@ func run() int {
 	}
 	if *file == "" && *standin == "" {
 		cli.Errorf(prog, "need -f <file> or -standin <name>; see -help")
+		return cli.ExitUsage
+	}
+	if *satProve && *coneMode {
+		cli.Errorf(prog, "-sat-prove settles whole-circuit runs; it cannot be combined with -cones")
 		return cli.ExitUsage
 	}
 
@@ -106,6 +113,7 @@ func run() int {
 	man.SetOption("compact", *compact)
 	man.SetOption("cones", *coneMode)
 	man.SetOption("lint", *lintPre)
+	man.SetOption("sat_prove", *satProve)
 	man.SetOption("workers", par.Workers(*workers))
 	if rf.Timeout > 0 {
 		man.SetOption("timeout", rf.Timeout.String())
@@ -217,11 +225,23 @@ func run() int {
 	}
 
 	res, err := atpg.GenerateContext(ctx, c, opts)
+	var settle atpg.SettleReport
+	if err == nil && *satProve {
+		// Only a complete generation run is settled: a partial run's
+		// aborted set is an artifact of where it stopped, not of the search.
+		settle = atpg.SettleAborted(c, faults.CollapsedUniverse(c), res, col, *workers)
+	}
 	if res != nil {
 		man.SetResult("faults", res.NumFaults)
 		man.SetResult("detected", res.NumDetected)
 		man.SetResult("redundant", res.NumRedundant)
 		man.SetResult("aborted", res.NumAborted)
+		if *satProve {
+			man.SetResult("proved_redundant", res.NumProvedRedundant)
+			man.SetResult("settled_aborts", settle.Aborted)
+			man.SetResult("settle_cubes", settle.CubesAdded)
+			man.SetResult("sat_conflicts", settle.Conflicts)
+		}
 		man.SetResult("coverage", res.Coverage)
 		man.SetResult("effective_coverage", res.EffectiveCoverage)
 		man.SetResult("patterns", res.PatternCount())
@@ -245,6 +265,10 @@ func run() int {
 		fmt.Printf("detected:            %d\n", res.NumDetected)
 		fmt.Printf("redundant (proven):  %d\n", res.NumRedundant)
 		fmt.Printf("aborted:             %d\n", res.NumAborted)
+		if *satProve {
+			fmt.Printf("proved redundant:    %d (SAT; settled %d aborts, %d new cubes, %d conflicts)\n",
+				res.NumProvedRedundant, settle.Aborted, settle.CubesAdded, settle.Conflicts)
+		}
 		if res.Degraded > 0 {
 			fmt.Printf("degraded (budget):   %d\n", res.Degraded)
 		}

@@ -243,3 +243,53 @@ func TestLintPreflightStandin(t *testing.T) {
 		t.Fatalf("exit %d, want 0\n%s", code, out)
 	}
 }
+
+// TestSatProveSettlesAborts runs a fixture under a starved backtrack limit
+// (forcing aborts) with -sat-prove: the settled manifest must report zero
+// aborted faults and a 100% effective coverage, bit-identically across
+// repeated runs and worker counts.
+func TestSatProveSettlesAborts(t *testing.T) {
+	bin := buildBinary(t)
+	run := func(w string) map[string]any {
+		t.Helper()
+		out, err := exec.Command(bin,
+			"-f", "../../internal/netlist/testdata/redundant.bench",
+			"-backtrack", "1", "-random", "0", "-compact=false",
+			"-sat-prove", "-workers", w, "-json").Output()
+		if err != nil {
+			t.Fatalf("-workers %s: %v", w, err)
+		}
+		var man struct {
+			Results map[string]any `json:"results"`
+		}
+		if err := json.Unmarshal(out, &man); err != nil {
+			t.Fatalf("manifest not JSON: %v", err)
+		}
+		return man.Results
+	}
+	ref := run("1")
+	if ref["aborted"] != float64(0) {
+		t.Fatalf("settled run still has aborted faults: %v", ref)
+	}
+	if ref["effective_coverage"] != float64(1) {
+		t.Fatalf("settled effective coverage %v, want 1", ref["effective_coverage"])
+	}
+	if ref["settled_aborts"] == float64(0) {
+		t.Fatalf("fixture produced no aborts to settle under -backtrack 1: %v", ref)
+	}
+	for _, w := range []string{"1", "4"} {
+		if got := run(w); !reflect.DeepEqual(got, ref) {
+			t.Errorf("-workers %s settled manifest differs:\n  got  %v\n  want %v", w, got, ref)
+		}
+	}
+}
+
+// TestSatProveRejectsCones pins the flag validation: -sat-prove settles
+// whole-circuit runs only.
+func TestSatProveRejectsCones(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := exec.Command(bin, "-standin", "s713", "-sat-prove", "-cones").CombinedOutput()
+	if code := exitCode(t, err); code != cli.ExitUsage {
+		t.Fatalf("exit %d, want %d\n%s", code, cli.ExitUsage, out)
+	}
+}

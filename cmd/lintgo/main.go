@@ -26,6 +26,11 @@
 //	       (write-rename) or runctl.AppendFile (fsync'd append). The rule
 //	       skips _test.go files even under -tests — tests corrupt files on
 //	       purpose.
+//	GO005  os.Exit outside cmd/ and internal/cli: an exit buried in a
+//	       library skips deferred cleanup (trace flushes, checkpoint
+//	       saves, temp-file removal) and turns a recoverable error into a
+//	       silent truncation of the run. Libraries return errors; only the
+//	       command mains and the shared CLI helpers own the process exit.
 //
 // A finding is suppressed by a '//lintgo:allow GO00x [reason]' comment on
 // the offending line or the line above it. Test files are skipped unless
@@ -70,7 +75,7 @@ func run() int {
 	tests := fset.Bool("tests", false, "also lint _test.go files")
 	fset.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: lintgo [-tests] [path...]")
-		fmt.Fprintln(os.Stderr, "lints Go sources for determinism rules GO001-GO004; paths default to .")
+		fmt.Fprintln(os.Stderr, "lints Go sources for determinism rules GO001-GO005; paths default to .")
 		fset.PrintDefaults()
 	}
 	fset.Parse(os.Args[1:])
@@ -206,6 +211,11 @@ func exempt(rule, slashPath string) bool {
 	in := func(dir string) bool {
 		return strings.Contains(slashPath, dir+"/") || strings.HasPrefix(slashPath, dir+"/")
 	}
+	// seg matches dir as a whole path segment. The looser in() would let
+	// "internal/mycmd/" pass for "cmd", which GO005 must not.
+	seg := func(dir string) bool {
+		return strings.HasPrefix(slashPath, dir+"/") || strings.Contains(slashPath, "/"+dir+"/")
+	}
 	switch rule {
 	case "GO002":
 		return in("internal/obs") || in("internal/runctl")
@@ -215,6 +225,8 @@ func exempt(rule, slashPath string) bool {
 		return in("internal/par")
 	case "GO004":
 		return in("internal/runctl")
+	case "GO005":
+		return seg("cmd") || seg("internal/cli")
 	}
 	return false
 }
@@ -355,6 +367,9 @@ func checkSource(tokens *token.FileSet, path string, src []byte) ([]finding, err
 			case !isTest && osName != "" && pkg.Name == osName && rawWriteFns[sel.Sel.Name]:
 				report(n.Pos(), "GO004",
 					"non-atomic file write os.%s: use runctl.WriteFileAtomic or runctl.AppendFile", sel.Sel.Name)
+			case osName != "" && pkg.Name == osName && sel.Sel.Name == "Exit":
+				report(n.Pos(), "GO005",
+					"os.Exit outside cmd/ and internal/cli: libraries return errors, mains own the exit")
 			}
 		}
 		return true

@@ -308,3 +308,43 @@ func TestExecFindingsExitOne(t *testing.T) {
 		t.Errorf("unexpected output:\n%s", s)
 	}
 }
+
+func TestGO005OsExit(t *testing.T) {
+	src := `package x
+import "os"
+func f() { os.Exit(1) }
+`
+	// A library package must not exit the process.
+	if got := check(t, "internal/atpg/a.go", src); len(got) != 1 || got[0] != "GO005" {
+		t.Errorf("findings = %v, want [GO005]", got)
+	}
+	// Command mains and the shared CLI helpers own the exit.
+	if got := check(t, "cmd/atpgrun/main.go", src); len(got) != 0 {
+		t.Errorf("cmd/ flagged: %v", got)
+	}
+	if got := check(t, "internal/cli/cli.go", src); len(got) != 0 {
+		t.Errorf("internal/cli flagged: %v", got)
+	}
+	// "cmd" must match as a whole path segment: a library package whose
+	// name merely contains it is not exempt.
+	if got := check(t, "internal/mycmd/a.go", src); len(got) != 1 || got[0] != "GO005" {
+		t.Errorf("internal/mycmd findings = %v, want [GO005]", got)
+	}
+	// An aliased os import is still the os package.
+	aliased := `package x
+import stdos "os"
+func f() { stdos.Exit(2) }
+`
+	if got := check(t, "internal/atpg/a.go", aliased); len(got) != 1 || got[0] != "GO005" {
+		t.Errorf("aliased findings = %v, want [GO005]", got)
+	}
+	// An allow directive suppresses a justified hit.
+	allowed := `package x
+import "os"
+//lintgo:allow GO005 re-exec shim must exit here
+func f() { os.Exit(1) }
+`
+	if got := check(t, "internal/atpg/a.go", allowed); len(got) != 0 {
+		t.Errorf("allow directive not honored: %v", got)
+	}
+}

@@ -10,7 +10,12 @@
 // Each path is a .bench file, a .soc file, or a directory (walked
 // recursively for both extensions). Diagnostics print one per line in
 // "file:line: severity: RULE: message" form, or as structured "lint.diag"
-// JSONL events with -json. The exit code is the contract scripts rely on:
+// JSONL events with -json (followed by a final "lint.manifest" event
+// carrying the run's counts). -sat adds the formal rules NL013/NL014 (SAT-proved
+// constant nets and untestable faults); -cec proves each netlist's
+// compiled PPSFP program equivalent to its source, reporting CEC001 with
+// a counterexample on divergence. The exit code is the contract scripts
+// rely on:
 // 0 when no error-severity findings exist (warnings and infos are
 // reported but do not fail the run), 1 when errors were found (or
 // warnings, under -warn-as-error), 2 for usage problems.
@@ -25,9 +30,11 @@ import (
 	"sort"
 
 	"repro/internal/cli"
+	"repro/internal/faultsim"
 	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/sat"
 )
 
 const prog = "soclint"
@@ -44,6 +51,8 @@ func run() int {
 	maxFanout := fset.Int("max-fanout", lint.DefaultOptions().MaxFanout, "NL010 fanout threshold (0 disables)")
 	scoapLimit := fset.Int("scoap-limit", 0, "enable NL011 for nets whose SCOAP difficulty reaches `n` (0 disables)")
 	scoapTop := fset.Int("scoap", 0, "print the `k` hardest nets of each netlist by SCOAP difficulty")
+	satRules := fset.Bool("sat", false, "enable the SAT-backed rules NL013 (provably-constant net) and NL014 (provably-untestable fault)")
+	cec := fset.Bool("cec", false, "prove each netlist's compiled PPSFP program equivalent to its source (CEC001 on divergence)")
 	rules := fset.Bool("rules", false, "print the rule catalog and exit")
 	fset.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] path...\n", prog)
@@ -70,14 +79,31 @@ func run() int {
 		return cli.ExitUsage
 	}
 
-	opt := lint.Options{MaxFanout: *maxFanout, SCOAPLimit: *scoapLimit}
+	opt := lint.Options{MaxFanout: *maxFanout, SCOAPLimit: *scoapLimit, SAT: *satRules}
 	report := &lint.Report{}
+	var cecChecked, cecProved, cecStructural int
+	var cecConflicts int64
 	for _, f := range files {
 		var r *lint.Report
 		var err error
 		switch filepath.Ext(f) {
 		case ".bench":
 			r, err = lint.CheckBenchFile(f, opt)
+			if err == nil && *cec && !r.HasErrors() {
+				res, cerr := checkCEC(f, r)
+				if cerr != nil {
+					err = cerr
+				} else {
+					cecChecked++
+					cecConflicts += res.Conflicts
+					if res.Equivalent {
+						cecProved++
+					}
+					if res.Structural {
+						cecStructural++
+					}
+				}
+			}
 		case ".soc":
 			r, err = lint.CheckSOCFile(f)
 		}
@@ -104,6 +130,28 @@ func run() int {
 	if *jsonOut {
 		sink := obs.NewJSONLSink(os.Stdout)
 		report.EmitTo(sink)
+		// The run manifest is the final event: per-rule and CEC counts,
+		// zero-timed like every lint event so identical runs stay
+		// byte-identical.
+		fields := []obs.Field{
+			obs.F("tool", prog),
+			obs.F("files", len(files)),
+			obs.F("errors", report.Count(lint.Error)),
+			obs.F("warnings", report.Count(lint.Warning)),
+		}
+		if *satRules {
+			fields = append(fields,
+				obs.F("nl013", countRule(report, "NL013")),
+				obs.F("nl014", countRule(report, "NL014")))
+		}
+		if *cec {
+			fields = append(fields,
+				obs.F("cec_checked", cecChecked),
+				obs.F("cec_proved", cecProved),
+				obs.F("cec_structural", cecStructural),
+				obs.F("cec_conflicts", cecConflicts))
+		}
+		sink.Emit(obs.Event{Name: "lint.manifest", Fields: fields})
 		if err := sink.Err(); err != nil {
 			cli.Errorf(prog, "writing JSONL: %v", err)
 			return cli.ExitRuntime
@@ -164,6 +212,43 @@ func expandPaths(args []string) ([]string, error) {
 	}
 	sort.Strings(files)
 	return files, nil
+}
+
+// checkCEC compiles the netlist at path into its PPSFP program and proves
+// the two equivalent with the SAT miter. A divergence — which would mean
+// the kernel compiler miscompiles this circuit — is reported as a CEC001
+// error carrying the counterexample stimulus. The verdict is deterministic:
+// repeated runs produce identical findings and conflict counts.
+func checkCEC(path string, r *lint.Report) (sat.CECResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return sat.CECResult{}, err
+	}
+	c, err := netlist.ParseBenchString(path, string(data))
+	if err != nil {
+		return sat.CECResult{}, err
+	}
+	res := sat.CheckProgram(c, faultsim.Compile(c))
+	if !res.Equivalent {
+		detail := res.Reason
+		if detail == "" {
+			detail = fmt.Sprintf("counterexample %s diverges at observation point %d", res.Counterexample, res.FramePos)
+		}
+		r.Add("CEC001", lint.Pos{File: path}, c.Name,
+			"compiled PPSFP program is not equivalent to netlist %q: %s", c.Name, detail)
+	}
+	return res, nil
+}
+
+// countRule counts the findings of one rule ID.
+func countRule(r *lint.Report, id string) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Rule == id {
+			n++
+		}
+	}
+	return n
 }
 
 // printScoapReport prints the k hardest nets of one netlist.

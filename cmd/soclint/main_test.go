@@ -212,3 +212,83 @@ func TestQuietSuppressesInfo(t *testing.T) {
 		t.Errorf("-q leaked an info diagnostic:\n%s", out)
 	}
 }
+
+// TestCECProvesAllFixtures runs -cec over every committed .bench fixture
+// that lints clean: the compiled PPSFP program must be proven equivalent
+// for each, bit-identically across repeated runs (the manifest carries the
+// checked/proved counts and total solver conflicts).
+func TestCECProvesAllFixtures(t *testing.T) {
+	bin := buildBinary(t)
+	run := func() []byte {
+		t.Helper()
+		out, err := runAtRoot(bin, "-json", "-cec",
+			"internal/netlist/testdata/c17.bench",
+			"internal/netlist/testdata/deepchain.bench",
+			"internal/netlist/testdata/edges.bench",
+			"internal/netlist/testdata/gates.bench",
+			"internal/netlist/testdata/redundant.bench",
+			"internal/netlist/testdata/seq4.bench",
+			"internal/netlist/testdata/widefan.bench",
+			"cmd/soclint/testdata/clean/good.bench")
+		if code := exitCode(t, err); code != 0 {
+			t.Fatalf("exit %d, want 0\n%s", code, out)
+		}
+		return out
+	}
+	out := run()
+	s := string(out)
+	if strings.Contains(s, "CEC001") {
+		t.Fatalf("a fixture failed equivalence:\n%s", s)
+	}
+	if !strings.Contains(s, `"cec_checked":8,"cec_proved":8,"cec_structural":8`) {
+		t.Errorf("manifest does not report all 8 fixtures proved:\n%s", s)
+	}
+	if again := run(); string(again) != s {
+		t.Errorf("repeated -cec runs are not byte-identical:\n--- first ---\n%s--- second ---\n%s", s, again)
+	}
+}
+
+// TestSatRulesFindings pins the SAT-backed rules on the redundant fixture:
+// it contains a provably-constant net and provably-untestable faults, all
+// warnings (exit stays 0), counted in the manifest, byte-identically
+// across runs.
+func TestSatRulesFindings(t *testing.T) {
+	bin := buildBinary(t)
+	run := func() string {
+		t.Helper()
+		out, err := runAtRoot(bin, "-json", "-sat", "internal/netlist/testdata/redundant.bench")
+		if code := exitCode(t, err); code != 0 {
+			t.Fatalf("exit %d, want 0\n%s", code, out)
+		}
+		return string(out)
+	}
+	out := run()
+	if !strings.Contains(out, `"rule":"NL013"`) {
+		t.Errorf("no NL013 finding on the redundant fixture:\n%s", out)
+	}
+	if !strings.Contains(out, `"rule":"NL014"`) {
+		t.Errorf("no NL014 finding on the redundant fixture:\n%s", out)
+	}
+	if !strings.Contains(out, `"nl013":1,"nl014":10`) {
+		t.Errorf("manifest SAT counts drifted:\n%s", out)
+	}
+	if again := run(); again != out {
+		t.Errorf("repeated -sat runs are not byte-identical")
+	}
+}
+
+// TestSatRulesCleanFixture: a fixture with no redundancy produces no SAT
+// findings and zero counts.
+func TestSatRulesCleanFixture(t *testing.T) {
+	bin := buildBinary(t)
+	out, err := runAtRoot(bin, "-json", "-sat", "internal/netlist/testdata/c17.bench")
+	if code := exitCode(t, err); code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out)
+	}
+	if strings.Contains(string(out), "NL013") && !strings.Contains(string(out), `"nl013":0`) {
+		t.Errorf("unexpected NL013 on c17:\n%s", out)
+	}
+	if !strings.Contains(string(out), `"nl013":0,"nl014":0`) {
+		t.Errorf("manifest should count zero SAT findings on c17:\n%s", out)
+	}
+}

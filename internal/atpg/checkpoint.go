@@ -21,9 +21,11 @@ const FPFault = "atpg.fault"
 
 // ckptVersion is bumped whenever the checkpoint layout or the meaning of
 // the resumed state changes; a mismatch rejects the file instead of
-// resuming into silent corruption.
+// resuming into silent corruption. v3 widened the outcome status space
+// with ProvedRedundant (the SAT redundancy prover's verdict), so v2 files
+// — whose Aborted accounting the settled flow supersedes — are refused.
 const (
-	ckptVersion = 2
+	ckptVersion = 3
 	ckptTool    = "atpg"
 )
 
@@ -172,11 +174,11 @@ func (st *ckptState) restore(path string, width int) (cubes []logic.Cube, outcom
 	for i, o := range st.Outcomes {
 		f := faults.Fault{Gate: netlist.GateID(o.Gate), Pin: o.Pin, Stuck: logic.V(o.Stuck)}
 		s := Status(o.Status)
-		if s > Aborted {
+		if s > ProvedRedundant {
 			return nil, nil, nil, runctl.ValidateError(path, "outcome %d has unknown status %d", i, o.Status)
 		}
 		outcomes[i] = Outcome{Fault: f, Status: s, Backtracks: o.Backtracks}
-		if s == Redundant || s == Aborted {
+		if s == Redundant || s == Aborted || s == ProvedRedundant {
 			failed[f] = s
 		}
 	}

@@ -117,6 +117,11 @@ type Result struct {
 	NumDetected  int
 	NumRedundant int
 	NumAborted   int
+	// NumProvedRedundant counts faults the PODEM search Aborted that the
+	// SAT redundancy prover (SettleAborted) then proved untestable. They
+	// are excluded from the EffectiveCoverage denominator exactly like
+	// NumRedundant.
+	NumProvedRedundant int
 	// Degraded counts faults abandoned because their per-fault time
 	// budget (Options.FaultBudget) ran out — a subset of NumAborted. Each
 	// is a recorded degradation: the run stayed alive and its coverage
@@ -617,17 +622,19 @@ func GenerateForFaultsContext(ctx context.Context, c *netlist.Circuit, flist []f
 func finalizeAccounting(c *netlist.Circuit, flist []faults.Fault, failed map[faults.Fault]Status, res *Result, col *obs.Collector, workers int) {
 	final := faultsim.SimulateWorkers(c, res.Patterns, flist, workers)
 	res.NumDetected = final.NumDetected
-	res.NumRedundant, res.NumAborted = 0, 0
+	res.NumRedundant, res.NumAborted, res.NumProvedRedundant = 0, 0, 0
 	for _, st := range failed {
 		switch st {
 		case Redundant:
 			res.NumRedundant++
 		case Aborted:
 			res.NumAborted++
+		case ProvedRedundant:
+			res.NumProvedRedundant++
 		}
 	}
 	res.Coverage = final.Coverage()
-	den := res.NumFaults - res.NumRedundant
+	den := res.NumFaults - res.NumRedundant - res.NumProvedRedundant
 	if den <= 0 {
 		res.EffectiveCoverage = 1
 	} else {

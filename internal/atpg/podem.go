@@ -31,6 +31,13 @@ const (
 	Redundant
 	// Aborted: the backtrack limit was hit before a verdict.
 	Aborted
+	// ProvedRedundant: the fault was Aborted by the PODEM search and then
+	// formally proven untestable by the SAT redundancy prover
+	// (SettleAborted) — the good-vs-faulty miter is unsatisfiable. It is
+	// distinguished from Redundant (search-space exhaustion inside the
+	// backtrack budget) so accounting can show how much the formal layer
+	// settled.
+	ProvedRedundant
 )
 
 // String returns the lowercase name of s.
@@ -42,6 +49,8 @@ func (s Status) String() string {
 		return "redundant"
 	case Aborted:
 		return "aborted"
+	case ProvedRedundant:
+		return "proved-redundant"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }

@@ -29,6 +29,7 @@ type ResultSummary struct {
 	Detected          int      `json:"detected"`
 	Redundant         int      `json:"redundant"`
 	Aborted           int      `json:"aborted"`
+	ProvedRedundant   int      `json:"proved_redundant,omitempty"`
 	Degraded          int      `json:"degraded,omitempty"`
 	Incomplete        bool     `json:"incomplete,omitempty"`
 	Coverage          float64  `json:"coverage"`
@@ -47,6 +48,7 @@ func (r *Result) Summary(circuit string) ResultSummary {
 		Detected:          r.NumDetected,
 		Redundant:         r.NumRedundant,
 		Aborted:           r.NumAborted,
+		ProvedRedundant:   r.NumProvedRedundant,
 		Degraded:          r.Degraded,
 		Incomplete:        r.Incomplete,
 		Coverage:          r.Coverage,

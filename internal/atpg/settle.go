@@ -1,0 +1,117 @@
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/faultsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/sat"
+)
+
+// SettleReport summarises one SettleAborted pass: how the formal layer
+// disposed of every fault the PODEM search had given up on.
+type SettleReport struct {
+	// Aborted is the number of faults that carried a final Aborted verdict
+	// going in — all of them are settled on return.
+	Aborted int
+	// ProvedRedundant counts miters proven unsatisfiable: the fault is
+	// untestable by any fully specified pattern.
+	ProvedRedundant int
+	// CubesAdded counts satisfiable miters: each yielded a test cube that
+	// fault simulation confirmed and that joined the pattern set.
+	CubesAdded int
+	// Conflicts is the total solver conflict count spent across all proofs.
+	Conflicts int64
+}
+
+// SettleAborted formally settles every fault whose final generation verdict
+// is Aborted: the SAT redundancy prover builds the good-vs-faulty miter and
+// either proves the fault untestable (upgrading it to ProvedRedundant) or
+// extracts a test cube, which is verified by the serial reference simulator
+// and folded into the pattern set (zero-filled, the engine's X convention).
+// Accounting is then re-finalized, so Coverage and EffectiveCoverage — and
+// with them the per-core pattern counts T_i of the paper's TDV analysis —
+// are exact: on return no fault is Aborted, and
+//
+//	NumDetected + NumRedundant + NumProvedRedundant == NumFaults
+//
+// holds whenever the generation run itself was complete. The pass is
+// bit-reproducible and independent of the worker count; workers only shards
+// the final accounting simulation. Counters: sat.proved_redundant,
+// sat.cubes, sat.conflicts.
+func SettleAborted(c *netlist.Circuit, flist []faults.Fault, res *Result, col *obs.Collector, workers int) SettleReport {
+	span := col.StartSpan("atpg.phase.settle")
+	defer span.End()
+
+	// Final verdict per targeted fault: outcomes are append-only, so the
+	// last entry wins (escalation passes re-record upgraded verdicts).
+	finalStatus := make(map[faults.Fault]Status, len(res.Outcomes))
+	for _, o := range res.Outcomes {
+		finalStatus[o.Fault] = o.Status
+	}
+	var aborted []faults.Fault
+	for f, st := range finalStatus {
+		if st == Aborted {
+			aborted = append(aborted, f)
+		}
+	}
+	sortFaults(aborted)
+
+	rep := SettleReport{Aborted: len(aborted)}
+	if len(aborted) == 0 {
+		return rep
+	}
+
+	width := len(c.PseudoInputs())
+	for _, f := range aborted {
+		proof := sat.ProveFault(c, f)
+		rep.Conflicts += proof.Conflicts
+		if proof.Redundant {
+			rep.ProvedRedundant++
+			res.Outcomes = append(res.Outcomes, Outcome{f, ProvedRedundant, int(proof.Conflicts)})
+			if col.Tracing() {
+				col.Emit("atpg.settle",
+					obs.F("fault", f.String(c)),
+					obs.F("status", ProvedRedundant.String()),
+					obs.F("conflicts", proof.Conflicts))
+			}
+			continue
+		}
+		cube := padCube(proof.Cube, width)
+		if !faultsim.SerialDetects(c, cube, f) {
+			// An unverifiable cube is a prover bug, never silently accepted —
+			// the same contract the PODEM loop holds its own cubes to.
+			panic(fmt.Sprintf("atpg: settle cube %v does not detect %s", proof.Cube, f.String(c)))
+		}
+		rep.CubesAdded++
+		res.Cubes = append(res.Cubes, cube)
+		res.Patterns = append(res.Patterns, cube.Fill(func(int) logic.V { return logic.Zero }))
+		res.Outcomes = append(res.Outcomes, Outcome{f, Detected, int(proof.Conflicts)})
+		if col.Tracing() {
+			col.Emit("atpg.settle",
+				obs.F("fault", f.String(c)),
+				obs.F("status", Detected.String()),
+				obs.F("conflicts", proof.Conflicts))
+		}
+	}
+	col.Counter("sat.proved_redundant").Add(int64(rep.ProvedRedundant))
+	col.Counter("sat.cubes").Add(int64(rep.CubesAdded))
+	col.Counter("sat.conflicts").Add(rep.Conflicts)
+
+	// Rebuild the failed map under the settled verdicts and re-finalize:
+	// the coverage figures become exact for the enlarged pattern set.
+	failed := make(map[faults.Fault]Status)
+	for _, o := range res.Outcomes {
+		switch o.Status {
+		case Detected:
+			delete(failed, o.Fault)
+		default:
+			failed[o.Fault] = o.Status
+		}
+	}
+	finalizeAccounting(c, flist, failed, res, col, workers)
+	return rep
+}

@@ -19,6 +19,12 @@ type Options struct {
 	// observability) reaches this value. 0 disables the rule; nets with
 	// infinite SCOAP values always trip it when enabled.
 	SCOAPLimit int
+	// SAT enables the formal rules NL013 (provably-constant net) and
+	// NL014 (provably-untestable fault). Opt-in: each finding is an exact
+	// SAT proof, one solve per net polarity and one miter per collapsed
+	// fault, which is affordable on fixtures but not free on large
+	// netlists.
+	SAT bool
 }
 
 // DefaultOptions returns the thresholds used by cmd/soclint and the -lint
@@ -209,8 +215,9 @@ func CheckBench(file, src string, opt Options) *Report {
 }
 
 // CheckCircuit runs the circuit-level DRC rules (NL004, NL005, NL010,
-// NL011, NL012) on a finalized circuit — the entry point for
-// programmatically built netlists, where no source positions exist.
+// NL011, NL012, and with Options.SAT the formal NL013/NL014) on a
+// finalized circuit — the entry point for programmatically built
+// netlists, where no source positions exist.
 func CheckCircuit(c *netlist.Circuit, opt Options) *Report {
 	r := checkCircuit(c.Name, c, nil, opt)
 	r.Sort()
@@ -300,6 +307,10 @@ func checkCircuit(file string, c *netlist.Circuit, lines map[string]int, opt Opt
 			r.Add("NL010", pos(g.Name), g.Name,
 				"net %q fans out to %d gates (threshold %d)", g.Name, len(c.Fanout(id)), opt.MaxFanout)
 		}
+	}
+
+	if opt.SAT {
+		r.Merge(checkSAT(file, c, lines))
 	}
 
 	if opt.SCOAPLimit > 0 {

@@ -293,3 +293,41 @@ func TestGeneratedStandinsLintClean(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckBenchSATRules(t *testing.T) {
+	// o reconverges to a, so x = XOR(o, a) is provably constant 0 and its
+	// stuck-at-0 fault (among others in the redundant cone) is provably
+	// untestable. Neither fact is visible to the structural rules.
+	src := `INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(z)
+nb = NOT(b)
+t1 = AND(a, b)
+t2 = AND(a, nb)
+o = OR(t1, t2)
+x = XOR(o, a)
+z = OR(x, c)
+`
+	r := CheckBench("red", src, Options{SAT: true})
+	if !hasRule(r, "NL013") {
+		t.Errorf("constant net x not flagged NL013: %v", rulesOf(r))
+	}
+	if !hasRule(r, "NL014") {
+		t.Errorf("untestable faults not flagged NL014: %v", rulesOf(r))
+	}
+	for _, d := range r.Diags {
+		if (d.Rule == "NL013" || d.Rule == "NL014") && d.Sev != Warning {
+			t.Errorf("%s severity = %v, want warning", d.Rule, d.Sev)
+		}
+	}
+	// Without SAT the formal rules stay off.
+	if r := CheckBench("red", src, Options{}); hasRule(r, "NL013") || hasRule(r, "NL014") {
+		t.Errorf("SAT rules ran without opt-in: %v", rulesOf(r))
+	}
+	// A fully testable netlist produces no SAT findings.
+	clean := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n"
+	if r := CheckBench("clean", clean, Options{SAT: true}); hasRule(r, "NL013") || hasRule(r, "NL014") {
+		t.Errorf("SAT findings on a clean netlist: %v", rulesOf(r))
+	}
+}

@@ -27,6 +27,10 @@ var Catalog = []Rule{
 	{"NL010", Warning, "fanout exceeds the configured threshold"},
 	{"NL011", Warning, "hard-to-test net: SCOAP testability exceeds the configured threshold"},
 	{"NL012", Warning, "unused primary input: drives nothing and is not an output"},
+	{"NL013", Warning, "provably-constant net: SAT shows it never changes value under any stimulus"},
+	{"NL014", Warning, "provably-untestable fault: the good-vs-faulty miter is unsatisfiable"},
+
+	{"CEC001", Error, "compiled PPSFP program is not equivalent to its source netlist"},
 
 	{"SOC001", Error, "syntax error: malformed .soc directive or value"},
 	{"SOC002", Error, "duplicate module definition"},

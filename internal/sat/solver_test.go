@@ -1,0 +1,226 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSolverTrivial(t *testing.T) {
+	f := NewCNF()
+	a, b := f.NewVar(), f.NewVar()
+	f.Add(a, b)
+	f.Add(a.Neg(), b)
+	f.Add(b.Neg(), a)
+	s := NewSolver(f)
+	if !s.Solve() {
+		t.Fatal("a↔b with (a∨b) should be SAT")
+	}
+	if !s.ValueOf(a) || !s.ValueOf(b) {
+		t.Fatalf("expected a=b=true, got a=%v b=%v", s.ValueOf(a), s.ValueOf(b))
+	}
+}
+
+func TestSolverUnsat(t *testing.T) {
+	f := NewCNF()
+	a, b := f.NewVar(), f.NewVar()
+	f.Add(a, b)
+	f.Add(a, b.Neg())
+	f.Add(a.Neg(), b)
+	f.Add(a.Neg(), b.Neg())
+	if NewSolver(f).Solve() {
+		t.Fatal("all four binary clauses over two vars should be UNSAT")
+	}
+}
+
+func TestSolverEmptyClause(t *testing.T) {
+	f := NewCNF()
+	a := f.NewVar()
+	f.Add(a)
+	f.Add() // empty clause
+	if NewSolver(f).Solve() {
+		t.Fatal("formula with an empty clause should be UNSAT")
+	}
+}
+
+func TestSolverTautologyDropped(t *testing.T) {
+	f := NewCNF()
+	a := f.NewVar()
+	f.Add(a, a.Neg())
+	if f.NumClauses() != 0 {
+		t.Fatalf("tautology should be dropped, have %d clauses", f.NumClauses())
+	}
+	if !NewSolver(f).Solve() {
+		t.Fatal("empty formula should be SAT")
+	}
+}
+
+func TestSolverAssumptions(t *testing.T) {
+	f := NewCNF()
+	a, b, c := f.NewVar(), f.NewVar(), f.NewVar()
+	f.Add(a.Neg(), b) // a → b
+	f.Add(b.Neg(), c) // b → c
+	s := NewSolver(f)
+	if !s.Solve(a) {
+		t.Fatal("implication chain under assumption a should be SAT")
+	}
+	if !s.ValueOf(c) {
+		t.Fatal("a=1 must propagate c=1")
+	}
+	if !s.Solve(c.Neg()) {
+		t.Fatal("¬c alone should be SAT")
+	}
+	if s.ValueOf(a) {
+		t.Fatal("¬c must propagate ¬a")
+	}
+	if s.Solve(a, c.Neg()) {
+		t.Fatal("a ∧ ¬c contradicts the chain")
+	}
+	// The solver is reusable after an UNSAT-under-assumptions call.
+	if !s.Solve() {
+		t.Fatal("formula without assumptions should still be SAT")
+	}
+}
+
+// TestSolverPigeonhole exercises real backtracking: 4 pigeons in 3 holes.
+func TestSolverPigeonhole(t *testing.T) {
+	const pigeons, holes = 4, 3
+	f := NewCNF()
+	v := [pigeons][holes]Lit{}
+	for p := 0; p < pigeons; p++ {
+		for h := 0; h < holes; h++ {
+			v[p][h] = f.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		f.Add(v[p][0], v[p][1], v[p][2])
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.Add(v[p1][h].Neg(), v[p2][h].Neg())
+			}
+		}
+	}
+	s := NewSolver(f)
+	if s.Solve() {
+		t.Fatal("pigeonhole 4-into-3 should be UNSAT")
+	}
+	if s.Conflicts() == 0 {
+		t.Fatal("pigeonhole proof should require conflicts")
+	}
+}
+
+// TestSolverRandomVsBruteForce differentially checks the solver against
+// exhaustive enumeration on random small formulas, and validates returned
+// models against the original clauses.
+func TestSolverRandomVsBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(20260807))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 1 + r.Intn(10)
+		nClauses := 1 + r.Intn(30)
+		f := NewCNF()
+		lits := make([]Lit, nVars)
+		for i := range lits {
+			lits[i] = f.NewVar()
+		}
+		clauses := make([][]Lit, 0, nClauses)
+		for j := 0; j < nClauses; j++ {
+			width := 1 + r.Intn(3)
+			cl := make([]Lit, 0, width)
+			for k := 0; k < width; k++ {
+				l := lits[r.Intn(nVars)]
+				if r.Intn(2) == 0 {
+					l = l.Neg()
+				}
+				cl = append(cl, l)
+			}
+			clauses = append(clauses, cl)
+			f.Add(cl...)
+		}
+		want := false
+		for m := 0; m < 1<<uint(nVars); m++ {
+			ok := true
+			for _, cl := range clauses {
+				sat := false
+				for _, l := range cl {
+					bit := m&(1<<uint(l.Var()-1)) != 0
+					if bit == l.Pos() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want = true
+				break
+			}
+		}
+		s := NewSolver(f)
+		got := s.Solve()
+		if got != want {
+			t.Fatalf("iter %d: solver says %v, brute force says %v (clauses %v)", iter, got, want, clauses)
+		}
+		if got {
+			for _, cl := range clauses {
+				sat := false
+				for _, l := range cl {
+					if s.ValueOf(l) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("iter %d: model does not satisfy clause %v", iter, cl)
+				}
+			}
+		}
+	}
+}
+
+// TestSolverDeterministic pins that verdict, model and conflict count are
+// identical across fresh solvers and across repeated Solve calls.
+func TestSolverDeterministic(t *testing.T) {
+	build := func() *CNF {
+		r := rand.New(rand.NewSource(42))
+		f := NewCNF()
+		lits := make([]Lit, 14)
+		for i := range lits {
+			lits[i] = f.NewVar()
+		}
+		for j := 0; j < 60; j++ {
+			a, b, c := lits[r.Intn(14)], lits[r.Intn(14)], lits[r.Intn(14)]
+			if r.Intn(2) == 0 {
+				a = a.Neg()
+			}
+			if r.Intn(2) == 0 {
+				b = b.Neg()
+			}
+			f.Add(a, b, c.Neg())
+		}
+		return f
+	}
+	s1, s2 := NewSolver(build()), NewSolver(build())
+	r1, r2 := s1.Solve(), s2.Solve()
+	if r1 != r2 || s1.Conflicts() != s2.Conflicts() {
+		t.Fatalf("verdict/conflicts differ across identical solvers: %v/%d vs %v/%d",
+			r1, s1.Conflicts(), r2, s2.Conflicts())
+	}
+	if r1 {
+		m1, m2 := s1.Model(), s2.Model()
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				t.Fatalf("models differ at var %d", i)
+			}
+		}
+	}
+	// Re-solving the same instance must repeat the exact conflict cost.
+	c1 := s1.Conflicts()
+	s1.Solve()
+	if s1.Conflicts() != 2*c1 {
+		t.Fatalf("second Solve cost %d conflicts, first cost %d", s1.Conflicts()-c1, c1)
+	}
+}
