@@ -11,6 +11,9 @@
 //     Each case times the 64-wide bit-parallel engine against the
 //     pattern-at-a-time serial reference engine on one thread; speedup is
 //     relative to the serial engine within the case.
+//   - -mode schedule (BENCH_schedule.json): the wrapper/TAM rectangle
+//     packer. Each case times coopt.Pack on one ITC'02 SOC at TAM width 32
+//     and records the achieved-vs-lower-bound time ratio (lb_ratio).
 //
 // Every case is first cross-checked: the timed configurations must produce
 // first-detection tables identical to the reference, or the program exits 1
@@ -25,7 +28,7 @@
 //
 // Usage:
 //
-//	benchjson [-mode parallel|kernel] [-out FILE] [-quick]
+//	benchjson [-mode parallel|kernel|schedule] [-out FILE] [-quick]
 package main
 
 import (
@@ -42,8 +45,10 @@ import (
 
 	"repro"
 	"repro/internal/bench89"
+	"repro/internal/coopt"
 	"repro/internal/faults"
 	"repro/internal/faultsim"
+	"repro/internal/itc02"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/runctl"
@@ -51,19 +56,28 @@ import (
 
 type result struct {
 	// Engine identifies the implementation in -mode kernel rows
-	// ("serial" or "ppsfp"); Workers identifies the worker count in
-	// -mode parallel rows. Exactly one of the two is set.
+	// ("serial" or "ppsfp") and is "pack" in -mode schedule rows; Workers
+	// identifies the worker count in -mode parallel rows.
 	Engine  string  `json:"engine,omitempty"`
 	Workers int     `json:"workers,omitempty"`
 	NsPerOp int64   `json:"ns_per_op"`
 	Speedup float64 `json:"speedup"`
+	// LBRatio is the -mode schedule quality metric: achieved test time
+	// over the area/bottleneck lower bound (1.0 = provably optimal).
+	LBRatio float64 `json:"lb_ratio,omitempty"`
 }
 
 type benchCase struct {
-	Name     string   `json:"name"`
-	Patterns int      `json:"patterns,omitempty"`
-	Faults   int      `json:"faults,omitempty"`
-	Results  []result `json:"results"`
+	Name     string `json:"name"`
+	Patterns int    `json:"patterns,omitempty"`
+	Faults   int    `json:"faults,omitempty"`
+	// TAM/Cores/TotalTime/LowerBound describe -mode schedule cases: the
+	// TAM width, the packed core count, and the achieved-vs-bound times.
+	TAM        int      `json:"tam,omitempty"`
+	Cores      int      `json:"cores,omitempty"`
+	TotalTime  int64    `json:"total_time,omitempty"`
+	LowerBound int64    `json:"lower_bound,omitempty"`
+	Results    []result `json:"results"`
 }
 
 type report struct {
@@ -221,13 +235,69 @@ func liveCase(scale float64, workers []int) benchCase {
 	return bc
 }
 
+// scheduleCase times the wrapper/TAM rectangle packer on one ITC'02 SOC,
+// after verifying the schedule is deterministic (two independent computes
+// encode to identical bytes) and within 2x of the area/bottleneck lower
+// bound — a runtime measured on a broken packing is meaningless.
+func scheduleCase(name string, tamW int) benchCase {
+	soc, err := itc02.SOCByName(name)
+	if err != nil {
+		fail("schedule %s: %v", name, err)
+	}
+	opts := coopt.Options{TAMWidth: tamW}
+	sch, err := coopt.Optimize(soc, opts)
+	if err != nil {
+		fail("schedule %s: %v", name, err)
+	}
+	again, err := coopt.Optimize(soc, opts)
+	if err != nil {
+		fail("schedule %s: %v", name, err)
+	}
+	a, _ := sch.Encode()
+	b, _ := again.Encode()
+	if !bytes.Equal(a, b) {
+		fail("schedule %s: two computes produced different bytes", name)
+	}
+	if sch.TotalTime > 2*sch.LowerBound {
+		fail("schedule %s: total %d exceeds 2x lower bound %d", name, sch.TotalTime, sch.LowerBound)
+	}
+
+	// Time the packer proper: the staircases are an input (built once per
+	// SOC in every real caller), the rectangle packing is the hot loop.
+	cores, err := coopt.BuildCores(soc, tamW)
+	if err != nil {
+		fail("schedule %s: %v", name, err)
+	}
+	br := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := coopt.Pack(cores, tamW, 0, nil); err != nil {
+				fail("schedule %s: %v", name, err)
+			}
+		}
+	})
+	bc := benchCase{
+		Name:       "schedule/" + name,
+		TAM:        tamW,
+		Cores:      len(cores),
+		TotalTime:  sch.TotalTime,
+		LowerBound: sch.LowerBound,
+	}
+	bc.Results = append(bc.Results, result{
+		Engine:  "pack",
+		NsPerOp: br.NsPerOp(),
+		Speedup: 1,
+		LBRatio: sch.LBRatio,
+	})
+	return bc
+}
+
 func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
 
 func main() {
 	var out string
 	flag.StringVar(&out, "out", "", "output `file` for the JSON report (default BENCH_<mode>.json)")
 	flag.StringVar(&out, "o", "", "alias for -out")
-	mode := flag.String("mode", "parallel", "benchmark `mode`: parallel (worker sharding) or kernel (serial vs PPSFP)")
+	mode := flag.String("mode", "parallel", "benchmark `mode`: parallel (worker sharding), kernel (serial vs PPSFP) or schedule (wrapper/TAM packer)")
 	quick := flag.Bool("quick", false, "smaller circuits and pattern counts (smoke mode)")
 	flag.Parse()
 
@@ -255,8 +325,16 @@ func main() {
 				rep.Cases = append(rep.Cases, kernelCase(name, 256))
 			}
 		}
+	case "schedule":
+		if *quick {
+			rep.Cases = append(rep.Cases, scheduleCase("d695", 32))
+		} else {
+			for _, row := range itc02.PublishedTable4() {
+				rep.Cases = append(rep.Cases, scheduleCase(row.Name, 32))
+			}
+		}
 	default:
-		fail("unknown -mode %q (want parallel or kernel)", *mode)
+		fail("unknown -mode %q (want parallel, kernel or schedule)", *mode)
 	}
 	if out == "" {
 		out = "BENCH_" + *mode + ".json"

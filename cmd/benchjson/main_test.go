@@ -38,14 +38,19 @@ type reportSchema struct {
 		GoVersion  string `json:"go_version"`
 	} `json:"host"`
 	Cases []struct {
-		Name     string `json:"name"`
-		Patterns int    `json:"patterns"`
-		Faults   int    `json:"faults"`
-		Results  []struct {
+		Name       string `json:"name"`
+		Patterns   int    `json:"patterns"`
+		Faults     int    `json:"faults"`
+		TAM        int    `json:"tam"`
+		Cores      int    `json:"cores"`
+		TotalTime  int64  `json:"total_time"`
+		LowerBound int64  `json:"lower_bound"`
+		Results    []struct {
 			Engine  string  `json:"engine"`
 			Workers int     `json:"workers"`
 			NsPerOp int64   `json:"ns_per_op"`
 			Speedup float64 `json:"speedup"`
+			LBRatio float64 `json:"lb_ratio"`
 		} `json:"results"`
 	} `json:"cases"`
 }
@@ -139,6 +144,37 @@ func TestParallelModeSchema(t *testing.T) {
 		if r.Workers != wantWorkers[i] || r.Engine != "" || r.NsPerOp <= 0 || r.Speedup <= 0 {
 			t.Fatalf("row %d malformed: %+v", i, r)
 		}
+	}
+}
+
+// TestScheduleModeSchema pins the packer-benchmark shape: a pack row with
+// a real timing and an achieved-vs-lower-bound ratio in [1, 2].
+func TestScheduleModeSchema(t *testing.T) {
+	bin := buildBinary(t)
+	out := filepath.Join(t.TempDir(), "schedule.json")
+	rep := runAndParse(t, bin, "-quick", "-mode", "schedule", "-out", out)
+	if rep.Mode != "schedule" {
+		t.Fatalf("mode %q, want schedule", rep.Mode)
+	}
+	if len(rep.Cases) != 1 {
+		t.Fatalf("quick schedule mode: %d cases, want 1", len(rep.Cases))
+	}
+	c := rep.Cases[0]
+	if c.Name != "schedule/d695" || c.TAM != 32 || c.Cores <= 0 {
+		t.Fatalf("unexpected case header: %+v", c)
+	}
+	if c.TotalTime <= 0 || c.LowerBound <= 0 || c.TotalTime > 2*c.LowerBound {
+		t.Fatalf("times outside contract: total=%d lb=%d", c.TotalTime, c.LowerBound)
+	}
+	if len(c.Results) != 1 {
+		t.Fatalf("%d result rows, want 1 (pack)", len(c.Results))
+	}
+	r := c.Results[0]
+	if r.Engine != "pack" || r.Workers != 0 || r.NsPerOp <= 0 {
+		t.Fatalf("pack row malformed: %+v", r)
+	}
+	if r.LBRatio < 1 || r.LBRatio > 2 {
+		t.Fatalf("lb_ratio %v outside [1, 2]", r.LBRatio)
 	}
 }
 

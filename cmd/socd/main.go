@@ -1,5 +1,6 @@
 // Command socd serves the analysis pipeline over HTTP: ATPG runs, TDV
-// reports and design-rule lints as JSON endpoints, backed by a bounded
+// reports, design-rule lints and wrapper/TAM test schedules as JSON
+// endpoints, backed by a bounded
 // priority job queue, a worker pool, and a content-addressed result store
 // that makes repeated analyses cache hits instead of recomputations.
 //
@@ -13,6 +14,9 @@
 //	POST /v1/atpg      {"bench": "..."} or {"standin": "s953"} [+ options]
 //	POST /v1/tdv       {"soc": "..."} or {"builtin": "d695"} [+ tmono]
 //	POST /v1/lint      {"bench": "..."} or {"soc": "..."}
+//	POST /v1/schedule  {"builtin": "d695", "tam": 32} or {"soc": "..."}
+//	                   [+ power_budget, precedence] — wrapper/TAM
+//	                   co-optimized test schedule (internal/coopt)
 //	GET  /v1/jobs/{id} status and result of an async job (with its trace ID)
 //	GET  /v1/jobs/{id}/events  live SSE stream of the job's trace events
 //	GET  /healthz      liveness, queue depth, busy/worker counts, build

@@ -176,7 +176,7 @@ func TestRulesCatalog(t *testing.T) {
 	if code := exitCode(t, err); code != 0 {
 		t.Fatalf("exit %d, want 0\n%s", code, out)
 	}
-	for _, id := range []string{"NL001", "NL012", "SOC001", "SOC012"} {
+	for _, id := range []string{"NL001", "NL012", "SOC001", "SOC013"} {
 		if !strings.Contains(string(out), id) {
 			t.Errorf("catalog missing rule %s:\n%s", id, out)
 		}

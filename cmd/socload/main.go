@@ -86,7 +86,9 @@ var catalog = []call{
 	{name: "atpg/tiny-and", kind: "atpg", path: "/v1/atpg", body: fmt.Sprintf(`{"bench":%q}`, tinyAnd)},
 	{name: "tdv/p22810", kind: "tdv", path: "/v1/tdv", body: `{"builtin":"p22810"}`},
 	{name: "atpg/tiny-mux", kind: "atpg", path: "/v1/atpg", body: fmt.Sprintf(`{"bench":%q}`, tinyMux)},
+	{name: "schedule/d695", kind: "schedule", path: "/v1/schedule", body: `{"builtin":"d695","tam":32}`},
 	{name: "tdv/p93791", kind: "tdv", path: "/v1/tdv", body: `{"builtin":"p93791"}`},
+	{name: "schedule/g1023", kind: "schedule", path: "/v1/schedule", body: `{"builtin":"g1023","tam":24}`},
 	{name: "atpg/s713", kind: "atpg", path: "/v1/atpg", body: `{"standin":"s713"}`},
 }
 

@@ -1,0 +1,236 @@
+// Command socsched runs the wrapper/TAM co-optimizer over the ITC'02
+// benchmark set: per-core wrapper staircases, diagonal-heuristic rectangle
+// packing onto a fixed-width TAM, and the TAM-width vs test-time vs TDV
+// Pareto frontier.
+//
+// Usage:
+//
+//	socsched                        # sweep all ten SOCs over TAM 16..64
+//	socsched -soc d695              # sweep one SOC
+//	socsched -soc d695 -tam 32      # one schedule; prints the placements
+//	socsched -soc d695 -tam 32 -out s.json  # write the schedule artifact
+//	socsched -workers 8             # fan the sweep out via internal/par
+//	socsched -power 120000          # power-budget every packing
+//
+// Observability (shared with itc02x/atpgrun/socd):
+//
+//	socsched -trace run.jsonl  # structured JSONL event trace
+//	socsched -metrics          # end-of-run counters to stderr
+//	socsched -json             # machine-readable run manifest to stdout
+//
+// The output is deterministic: the same flags produce byte-identical
+// schedules and frontiers for every -workers value, which CI enforces.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/coopt"
+	"repro/internal/itc02"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/runctl"
+)
+
+const prog = "socsched"
+
+// sweepWidths is the default TAM sweep of the benchmark evaluation:
+// 16..64 in steps of 8 (the widths the TAM literature tabulates).
+func sweepWidths() []int { return []int{16, 24, 32, 40, 48, 56, 64} }
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		socName = flag.String("soc", "", "schedule one benchmark SOC (default: all ten)")
+		tamW    = flag.Int("tam", 0, "single TAM width: emit the full schedule instead of a sweep")
+		power   = flag.Int64("power", 0, "power budget for concurrently tested cores (0 = unconstrained)")
+		workers = flag.Int("workers", 1, "parallel packings during a sweep")
+		outPath = flag.String("out", "", "write the schedule/frontier JSON artifact to `file` (atomic)")
+		jsonOut = flag.Bool("json", false, "write the run manifest as JSON to stdout instead of the human tables")
+	)
+	var ob cli.Obs
+	ob.Register(flag.CommandLine)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cli.Errorf(prog, "unexpected arguments %v; see -help", flag.Args())
+		return cli.ExitUsage
+	}
+	if *tamW != 0 && *socName == "" {
+		cli.Errorf(prog, "-tam requires -soc (a single schedule is per-SOC)")
+		return cli.ExitUsage
+	}
+	if *workers < 1 {
+		cli.Errorf(prog, "-workers must be >= 1")
+		return cli.ExitUsage
+	}
+
+	ob.Start(prog)
+	reg := ob.Registry()
+	if *jsonOut && reg == nil {
+		reg = obs.NewRegistry()
+	}
+	man := obs.NewManifest(prog, 0)
+	man.SetOption("soc", *socName)
+	man.SetOption("tam", *tamW)
+	man.SetOption("power", *power)
+	man.SetOption("workers", *workers)
+
+	fail := func(err error) int {
+		cli.Errorf(prog, "%v", err)
+		man.SetResult("error", err.Error())
+		finish(&ob, man, reg, *jsonOut)
+		return cli.ExitRuntime
+	}
+
+	if *tamW != 0 {
+		s, err := itc02.SOCByName(*socName)
+		if err != nil {
+			return fail(err)
+		}
+		sch, err := coopt.Optimize(s, coopt.Options{TAMWidth: *tamW, PowerBudget: *power})
+		if err != nil {
+			return fail(err)
+		}
+		art, err := sch.Encode()
+		if err != nil {
+			return fail(err)
+		}
+		if *outPath != "" {
+			if err := runctl.WriteFileAtomic(*outPath, art); err != nil {
+				return fail(err)
+			}
+		}
+		man.SetResult("total_time", sch.TotalTime)
+		man.SetResult("lower_bound", sch.LowerBound)
+		man.SetResult("lb_ratio", sch.LBRatio)
+		man.SetResult("tdv_bits", sch.TDVBits)
+		man.SetResult("utilization", sch.Utilization)
+		if !*jsonOut {
+			printSchedule(sch)
+		}
+		finish(&ob, man, reg, *jsonOut)
+		return 0
+	}
+
+	names := []string{*socName}
+	if *socName == "" {
+		names = names[:0]
+		for _, row := range itc02.PublishedTable4() {
+			names = append(names, row.Name)
+		}
+	}
+	type socFrontier struct {
+		SOC      string                `json:"soc"`
+		Frontier []coopt.FrontierPoint `json:"frontier"`
+	}
+	var all []socFrontier
+	for _, name := range names {
+		s, err := itc02.SOCByName(name)
+		if err != nil {
+			return fail(err)
+		}
+		points, err := coopt.Sweep(s, sweepWidths(), *workers, *power)
+		if err != nil {
+			return fail(fmt.Errorf("%s: %w", name, err))
+		}
+		all = append(all, socFrontier{SOC: name, Frontier: points})
+		if !*jsonOut {
+			printFrontier(name, points)
+		}
+	}
+	if *outPath != "" {
+		b, err := json.Marshal(all)
+		if err != nil {
+			return fail(err)
+		}
+		if err := runctl.WriteFileAtomic(*outPath, append(b, '\n')); err != nil {
+			return fail(err)
+		}
+	}
+	man.SetResult("socs", len(all))
+	man.SetResult("widths", len(sweepWidths()))
+	finish(&ob, man, reg, *jsonOut)
+	return 0
+}
+
+// printSchedule renders the single-width schedule: the placement table and
+// the abort-on-fail ordering comparison.
+func printSchedule(sch *coopt.Schedule) {
+	t := report.New(fmt.Sprintf("%s schedule, TAM width %d", sch.SOC, sch.TAMWidth),
+		"Core", "W", "Lines", "Start", "Finish", "IdleBits")
+	for _, p := range sch.Placements {
+		t.AddRow(p.Core, fmt.Sprint(p.Width), lineRange(p.Lines),
+			report.Int(p.Start), report.Int(p.Finish), report.Int(p.IdleBits))
+	}
+	t.AddFooter("total", "", "", "", report.Int(sch.TotalTime), report.Int(sch.WrapperIdleBits))
+	fmt.Println(t.String())
+	fmt.Printf("lower bound %s   ratio %s   TDV %s bits   useful %s   utilization %s\n",
+		report.Int(sch.LowerBound), report.Fixed2(sch.LBRatio),
+		report.Int(sch.TDVBits), report.Int(sch.UsefulBits), pct(sch.Utilization))
+	if sch.PowerBudget > 0 {
+		fmt.Printf("power budget %s   session-baseline time %s\n",
+			report.Int(sch.PowerBudget), report.Int(sch.SessionTime))
+	}
+	fmt.Printf("abort-on-fail: packed E=%.1f, optimal E=%.1f (%s better)\n",
+		sch.Abort.PackedExpected, sch.Abort.OptimalExpected, pct(sch.Abort.Improvement))
+}
+
+// pct formats a fraction as an unsigned percentage — these columns are
+// absolute quantities, not deltas, so report.Pct's forced sign misleads.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// printFrontier renders one SOC's sweep as the Pareto table.
+func printFrontier(name string, points []coopt.FrontierPoint) {
+	t := report.New(fmt.Sprintf("%s TAM-width sweep", name),
+		"W", "Time", "LB", "Ratio", "TDV bits", "Util", "Pareto")
+	for _, p := range points {
+		mark := ""
+		if p.Pareto {
+			mark = "*"
+		}
+		t.AddRow(fmt.Sprint(p.TAMWidth), report.Int(p.TotalTime), report.Int(p.LowerBound),
+			report.Fixed2(p.LBRatio), report.Int(p.TDVBits), pct(p.Utilization), mark)
+	}
+	fmt.Println(t.String())
+}
+
+// lineRange compacts an ascending line list into "a-b" when contiguous
+// (the common case) and a comma list otherwise.
+func lineRange(lines []int) string {
+	if len(lines) == 0 {
+		return ""
+	}
+	contiguous := true
+	for i := 1; i < len(lines); i++ {
+		if lines[i] != lines[i-1]+1 {
+			contiguous = false
+			break
+		}
+	}
+	if contiguous {
+		if len(lines) == 1 {
+			return fmt.Sprint(lines[0])
+		}
+		return fmt.Sprintf("%d-%d", lines[0], lines[len(lines)-1])
+	}
+	out := fmt.Sprint(lines[0])
+	for _, l := range lines[1:] {
+		out += fmt.Sprintf(",%d", l)
+	}
+	return out
+}
+
+func finish(ob *cli.Obs, man *obs.Manifest, reg *obs.Registry, jsonOut bool) {
+	man.Finish(reg)
+	ob.Stop(man)
+	if jsonOut {
+		cli.Check(prog, man.WriteJSON(os.Stdout))
+	}
+}

@@ -1,0 +1,136 @@
+package coopt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestHeuristicNeverBeatsOptimal exhaustively enumerates small rectangle
+// instances and checks the ordering PackOptimal ≤ Pack ≤ 2·LowerBound and
+// LowerBound ≤ PackOptimal. A heuristic "beating" the exhaustive optimum
+// would mean one of the two packers builds invalid schedules.
+func TestHeuristicNeverBeatsOptimal(t *testing.T) {
+	widths := []int{1, 2, 3}
+	times := []int64{2, 3, 7}
+	tamW := 4
+
+	// All instances of exactly 3 rectangles over the width×time grid
+	// (9 shapes → 729 instances), plus a 5-rectangle spot-check below.
+	shapes := make([][2]int64, 0, 9)
+	for _, w := range widths {
+		for _, tt := range times {
+			shapes = append(shapes, [2]int64{int64(w), tt})
+		}
+	}
+	run := func(t *testing.T, idx []int) {
+		t.Helper()
+		cores := make([]Core, len(idx))
+		for i, k := range idx {
+			cores[i] = rect(fmt.Sprintf("r%d", i), int(shapes[k][0]), shapes[k][1], 0)
+		}
+		opt, err := PackOptimal(cores, tamW, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pk, err := Pack(cores, tamW, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValid(t, pk)
+		lb := LowerBound(cores, tamW)
+		if opt < lb {
+			t.Fatalf("instance %v: optimum %d below lower bound %d", idx, opt, lb)
+		}
+		if pk.TotalTime < opt {
+			t.Fatalf("instance %v: heuristic %d beats exhaustive optimum %d", idx, pk.TotalTime, opt)
+		}
+		if pk.TotalTime > 2*lb {
+			t.Fatalf("instance %v: heuristic %d exceeds 2x lower bound %d", idx, pk.TotalTime, lb)
+		}
+	}
+	for a := 0; a < len(shapes); a++ {
+		for b := 0; b < len(shapes); b++ {
+			for c := 0; c < len(shapes); c++ {
+				run(t, []int{a, b, c})
+			}
+		}
+	}
+	// 5-rectangle instances along a fixed diagonal slice of the grid (full
+	// enumeration at 5 rects is 9^5 × exponential DFS — too slow for tier 1).
+	for off := 0; off < len(shapes); off++ {
+		idx := make([]int, 5)
+		for i := range idx {
+			idx[i] = (off + 2*i) % len(shapes)
+		}
+		run(t, idx)
+	}
+}
+
+// TestOptimalWithStaircaseChoice gives the brute force a real width/time
+// trade-off per rectangle and checks the heuristic still never wins.
+func TestOptimalWithStaircaseChoice(t *testing.T) {
+	mk := func(name string) Core {
+		return Core{
+			Name: name,
+			Configs: []Config{
+				{Width: 1, Time: 12},
+				{Width: 2, Time: 6},
+				{Width: 4, Time: 3},
+			},
+		}
+	}
+	cores := []Core{mk("a"), mk("b"), mk("c"), mk("d")}
+	opt, err := PackOptimal(cores, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := Pack(cores, 4, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, pk)
+	// Total minimum area is 4·12=48 over width 4 → LB 12, and the perfect
+	// packing (each core on 1 line, or pairs on 2 lines twice, ...) hits it.
+	if opt != 12 {
+		t.Fatalf("optimum = %d, want 12", opt)
+	}
+	if pk.TotalTime < opt || pk.TotalTime > 24 {
+		t.Fatalf("heuristic %d outside [12, 24]", pk.TotalTime)
+	}
+}
+
+// TestOptimalPowerConstrained: the power budget forces serialization the
+// width capacity alone would not.
+func TestOptimalPowerConstrained(t *testing.T) {
+	cores := []Core{rect("a", 1, 10, 6), rect("b", 1, 10, 6)}
+	opt, err := PackOptimal(cores, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 20 {
+		t.Fatalf("power-constrained optimum = %d, want 20 (serial)", opt)
+	}
+	unconstrained, err := PackOptimal(cores, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unconstrained != 10 {
+		t.Fatalf("unconstrained optimum = %d, want 10 (parallel)", unconstrained)
+	}
+}
+
+func TestOptimalGuards(t *testing.T) {
+	if _, err := PackOptimal(nil, 4, 0); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+	six := make([]Core, 6)
+	for i := range six {
+		six[i] = rect(fmt.Sprintf("r%d", i), 1, 1, 0)
+	}
+	if _, err := PackOptimal(six, 4, 0); err == nil {
+		t.Fatal("over-cap instance accepted")
+	}
+	if _, err := PackOptimal([]Core{rect("hot", 1, 1, 99)}, 4, 10); err == nil {
+		t.Fatal("core alone above the budget accepted")
+	}
+}

@@ -1,0 +1,254 @@
+package coopt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/itc02"
+	"repro/internal/tam"
+)
+
+// rect builds a single-configuration core for hand-made packing tests.
+func rect(name string, w int, t, power int64) Core {
+	return Core{
+		Name:    name,
+		Test:    tam.CoreTest{Name: name, Patterns: 1},
+		Configs: []Config{{Width: w, Time: t}},
+		Power:   power,
+	}
+}
+
+// checkValid verifies the physical validity of a packing: every placement
+// inside the TAM, no line double-booked by overlapping placements, and the
+// makespan equal to the latest finish.
+func checkValid(t *testing.T, pk *Packing) {
+	t.Helper()
+	var latest int64
+	for i, p := range pk.Placements {
+		if len(p.Lines) != p.Width {
+			t.Fatalf("%s: %d lines for width %d", p.Core, len(p.Lines), p.Width)
+		}
+		for _, l := range p.Lines {
+			if l < 0 || l >= pk.TAMWidth {
+				t.Fatalf("%s: line %d outside TAM width %d", p.Core, l, pk.TAMWidth)
+			}
+		}
+		if p.Finish <= p.Start && p.Finish != p.Start {
+			t.Fatalf("%s: negative duration", p.Core)
+		}
+		if p.Finish > latest {
+			latest = p.Finish
+		}
+		for _, q := range pk.Placements[i+1:] {
+			if p.Start >= q.Finish || q.Start >= p.Finish {
+				continue // disjoint in time
+			}
+			lines := map[int]bool{}
+			for _, l := range p.Lines {
+				lines[l] = true
+			}
+			for _, l := range q.Lines {
+				if lines[l] {
+					t.Fatalf("line %d double-booked by %s and %s", l, p.Core, q.Core)
+				}
+			}
+		}
+	}
+	if latest != pk.TotalTime {
+		t.Fatalf("TotalTime %d != latest finish %d", pk.TotalTime, latest)
+	}
+}
+
+// TestPackAllITC02WithinTwiceLowerBound is the acceptance gate: on every
+// ITC'02 SOC at TAM width 32, the heuristic schedule is valid, at least
+// the lower bound, and within 2× of it.
+func TestPackAllITC02WithinTwiceLowerBound(t *testing.T) {
+	socs, err := itc02.AllSOCs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(socs) != 10 {
+		t.Fatalf("expected 10 ITC'02 SOCs, got %d", len(socs))
+	}
+	for _, s := range socs {
+		cores, err := BuildCores(s, 32)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		pk, err := Pack(cores, 32, 0, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		checkValid(t, pk)
+		if pk.TotalTime < pk.LowerBound {
+			t.Errorf("%s: total %d beats lower bound %d — bound or packer broken",
+				s.Name, pk.TotalTime, pk.LowerBound)
+		}
+		if pk.TotalTime > 2*pk.LowerBound {
+			t.Errorf("%s: total %d exceeds 2x lower bound %d", s.Name, pk.TotalTime, pk.LowerBound)
+		}
+		if pk.TDVBits != 2*32*pk.TotalTime {
+			t.Errorf("%s: TDV accounting broken", s.Name)
+		}
+		if pk.TAMIdleBits < 0 || pk.WrapperIdleBits < 0 {
+			t.Errorf("%s: negative idle bits", s.Name)
+		}
+	}
+}
+
+// TestSweepByteIdenticalAcrossWorkers is the determinism gate: the full
+// width sweep must marshal to the same bytes for every worker count.
+func TestSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	s, err := itc02.SOCByName("d695")
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths := []int{16, 24, 32, 40, 48, 56, 64}
+	var ref []byte
+	for _, workers := range []int{1, 2, 4, 8} {
+		points, err := Sweep(s, widths, workers, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := mustJSON(t, points)
+		if ref == nil {
+			ref = b
+			continue
+		}
+		if !bytes.Equal(b, ref) {
+			t.Fatalf("workers=%d produced different bytes:\n%s\nvs\n%s", workers, b, ref)
+		}
+	}
+}
+
+// TestScheduleByteIdenticalAcrossRuns: repeated cold computes of the same
+// schedule encode identically (the checkpointless-restart property the
+// serving cache depends on — nothing carries over between calls).
+func TestScheduleByteIdenticalAcrossRuns(t *testing.T) {
+	s, err := itc02.SOCByName("g1023")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{TAMWidth: 24, PowerBudget: 0}
+	var ref []byte
+	for run := 0; run < 3; run++ {
+		sch, err := Optimize(s, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sch.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = b
+			continue
+		}
+		if !bytes.Equal(b, ref) {
+			t.Fatalf("run %d produced different bytes", run)
+		}
+	}
+	if ref[len(ref)-1] != '\n' {
+		t.Fatal("artifact must end in a newline")
+	}
+}
+
+func TestPackPowerBudget(t *testing.T) {
+	// Three unit-width rectangles, each power 5, budget 10: at most two
+	// may overlap even though the TAM has room for all three.
+	cores := []Core{rect("a", 1, 100, 5), rect("b", 1, 100, 5), rect("c", 1, 100, 5)}
+	pk, err := Pack(cores, 4, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, pk)
+	for _, p := range pk.Placements {
+		over := int64(0)
+		for _, q := range pk.Placements {
+			if q.Start < p.Finish && q.Finish > p.Start {
+				over += q.Power
+			}
+		}
+		if over > 10 {
+			t.Fatalf("power %d over budget 10 while %s runs", over, p.Core)
+		}
+	}
+	if pk.TotalTime != 200 {
+		t.Fatalf("expected serialization into two waves (200), got %d", pk.TotalTime)
+	}
+
+	if _, err := Pack([]Core{rect("hot", 1, 10, 99)}, 4, 10, nil); err == nil {
+		t.Fatal("core alone above the budget must be rejected")
+	}
+}
+
+func TestPackPrecedence(t *testing.T) {
+	cores := []Core{rect("a", 2, 10, 0), rect("b", 2, 10, 0)}
+	pk, err := Pack(cores, 4, 0, [][2]string{{"b", "a"}}) // a after b
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, pk)
+	var a, b Placement
+	for _, p := range pk.Placements {
+		if p.Core == "a" {
+			a = p
+		} else {
+			b = p
+		}
+	}
+	if a.Start < b.Finish {
+		t.Fatalf("a starts at %d before b finishes at %d", a.Start, b.Finish)
+	}
+
+	if _, err := Pack(cores, 4, 0, [][2]string{{"a", "b"}, {"b", "a"}}); err == nil {
+		t.Fatal("precedence cycle must be rejected")
+	}
+	if _, err := Pack(cores, 4, 0, [][2]string{{"ghost", "a"}}); err == nil {
+		t.Fatal("unknown precedence name must be rejected")
+	}
+	if _, err := Pack(cores, 4, 0, [][2]string{{"a", "a"}}); err == nil {
+		t.Fatal("self-edge must be rejected")
+	}
+}
+
+func TestPackRejectsBadWidth(t *testing.T) {
+	cores := []Core{rect("a", 1, 1, 0)}
+	if _, err := Pack(cores, 0, 0, nil); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if _, err := Pack(cores, MaxTAMWidth+1, 0, nil); err == nil {
+		t.Fatal("width beyond ceiling accepted")
+	}
+	if _, err := Pack([]Core{rect("a", 1, 1, 0), rect("a", 1, 1, 0)}, 4, 0, nil); err == nil {
+		t.Fatal("duplicate core names accepted")
+	}
+}
+
+// TestSweepParetoMonotone: frontier-marked points must strictly improve
+// with width, and the widest point's time never beats the lower bound.
+func TestSweepParetoMonotone(t *testing.T) {
+	s, err := itc02.SOCByName("h953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := Sweep(s, []int{16, 32, 48, 64}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := int64(-1)
+	for _, p := range points {
+		if p.TotalTime < p.LowerBound {
+			t.Fatalf("width %d: total %d below lower bound %d", p.TAMWidth, p.TotalTime, p.LowerBound)
+		}
+		if p.Pareto {
+			if best >= 0 && p.TotalTime >= best {
+				t.Fatalf("width %d marked Pareto but does not improve %d", p.TAMWidth, best)
+			}
+			best = p.TotalTime
+		}
+	}
+	if !points[0].Pareto {
+		t.Fatal("narrowest width must always be on the frontier")
+	}
+}

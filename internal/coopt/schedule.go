@@ -1,0 +1,143 @@
+package coopt
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+// Schedule is the complete co-optimization result for one SOC at one TAM
+// width: the packed placements, the idle-bit decomposition, the
+// abort-on-fail session ordering, and the options fingerprint that keyed
+// it. Field order is fixed and every float is rounded to four decimals,
+// so Encode is byte-stable — the property the serving cache, the restart
+// tests and the CI warm≡cold leg all lean on.
+type Schedule struct {
+	SOC         string `json:"soc"`
+	TAMWidth    int    `json:"tam_width"`
+	PowerBudget int64  `json:"power_budget,omitempty"`
+	OptionsHash string `json:"options_hash"`
+
+	TotalTime  int64   `json:"total_time"`
+	LowerBound int64   `json:"lower_bound"`
+	LBRatio    float64 `json:"lb_ratio"`
+
+	TDVBits         int64   `json:"tdv_bits"`
+	UsefulBits      int64   `json:"useful_bits"`
+	WrapperIdleBits int64   `json:"wrapper_idle_bits"`
+	TAMIdleBits     int64   `json:"tam_idle_bits"`
+	Utilization     float64 `json:"utilization"`
+
+	Placements []Placement `json:"placements"`
+
+	// SessionTime is the session-based power schedule's total time for the
+	// same cores and budget (internal/power's model) — the 1D baseline the
+	// 2D packing is measured against. Present only under a power budget.
+	SessionTime int64 `json:"session_time,omitempty"`
+
+	Abort AbortReport `json:"abort"`
+}
+
+// AbortReport carries the abort-on-fail view of the schedule: the packed
+// start order versus the expected-time-optimal order of internal/sched,
+// with the expected times of both under the deterministic failure-
+// probability proxy (see failProb).
+type AbortReport struct {
+	PackedOrder     []string `json:"packed_order"`
+	PackedExpected  float64  `json:"packed_expected"`
+	OptimalOrder    []string `json:"optimal_order"`
+	OptimalExpected float64  `json:"optimal_expected"`
+	// Improvement is the fractional expected-time saving of the optimal
+	// order over the packed order when tests run serially abort-on-fail.
+	Improvement float64 `json:"improvement"`
+}
+
+// failProb is the deterministic failure-probability proxy used when no
+// yield data exists: cores with more patterns target more faults and are
+// proportionally likelier to catch a defect. Scaling by 2·maxPatterns
+// keeps every probability in (0, 0.5], safely inside sched's [0,1] domain.
+func failProb(patterns, maxPatterns int) float64 {
+	if maxPatterns <= 0 {
+		return 0
+	}
+	return float64(patterns) / float64(2*maxPatterns)
+}
+
+// buildSchedule dresses a raw packing as the serving artifact.
+func buildSchedule(socName string, cores []Core, pk *Packing, opts Options) (*Schedule, error) {
+	s := &Schedule{
+		SOC:             socName,
+		TAMWidth:        pk.TAMWidth,
+		PowerBudget:     opts.PowerBudget,
+		OptionsHash:     opts.OptionsHash(),
+		TotalTime:       pk.TotalTime,
+		LowerBound:      pk.LowerBound,
+		LBRatio:         round4(ratio(pk.TotalTime, pk.LowerBound)),
+		TDVBits:         pk.TDVBits,
+		UsefulBits:      pk.UsefulBits,
+		WrapperIdleBits: pk.WrapperIdleBits,
+		TAMIdleBits:     pk.TAMIdleBits,
+		Utilization:     round4(ratio(pk.UsefulBits, pk.TDVBits)),
+		Placements:      pk.Placements,
+	}
+
+	maxPatterns := 0
+	patterns := make(map[string]int, len(cores))
+	for _, c := range cores {
+		patterns[c.Name] = c.Test.Patterns
+		if c.Test.Patterns > maxPatterns {
+			maxPatterns = c.Test.Patterns
+		}
+	}
+	// Abort-on-fail ordering over the placed tests, in packed start order.
+	tests := make([]sched.Test, len(pk.Placements))
+	for i, p := range pk.Placements {
+		tests[i] = sched.Test{
+			Name:     p.Core,
+			Time:     p.Finish - p.Start,
+			FailProb: failProb(patterns[p.Core], maxPatterns),
+		}
+	}
+	opt, err := sched.Optimize(tests)
+	if err != nil {
+		return nil, fmt.Errorf("coopt: abort-on-fail ordering: %w", err)
+	}
+	s.Abort = AbortReport{
+		PackedExpected:  round4(sched.ExpectedTime(tests)),
+		OptimalExpected: round4(sched.ExpectedTime(opt)),
+	}
+	for _, t := range tests {
+		s.Abort.PackedOrder = append(s.Abort.PackedOrder, t.Name)
+	}
+	for _, t := range opt {
+		s.Abort.OptimalOrder = append(s.Abort.OptimalOrder, t.Name)
+	}
+	if s.Abort.PackedExpected > 0 {
+		s.Abort.Improvement = round4(1 - s.Abort.OptimalExpected/s.Abort.PackedExpected)
+	}
+
+	if opts.PowerBudget > 0 {
+		loads := make([]power.CoreLoad, len(pk.Placements))
+		for i, p := range pk.Placements {
+			loads[i] = power.CoreLoad{Name: p.Core, Time: p.Finish - p.Start, Power: p.Power}
+		}
+		ses, err := power.ScheduleSessions(loads, opts.PowerBudget)
+		if err != nil {
+			return nil, fmt.Errorf("coopt: session baseline: %w", err)
+		}
+		s.SessionTime = ses.TotalTime
+	}
+	return s, nil
+}
+
+// Encode renders the schedule as its canonical artifact bytes: compact
+// JSON plus a trailing newline. Identical schedules encode identically.
+func (s *Schedule) Encode() ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,10 +1,12 @@
 package lint
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"repro/internal/bench89"
+	"repro/internal/coopt"
 	"repro/internal/core"
 	"repro/internal/itc02"
 	"repro/internal/obs"
@@ -206,6 +208,27 @@ func TestCheckSOCSourceRules(t *testing.T) {
 		if !hasRule(r, tc.want) {
 			t.Errorf("%s: rule %s did not fire; got %v", tc.name, tc.want, rulesOf(r))
 		}
+	}
+}
+
+// TestSOC013Unschedulable pins the ceiling exactly: a core declaring more
+// pre-stitched chains than coopt.MaxTAMWidth can never connect them all,
+// while one at the ceiling is still schedulable.
+func TestSOC013Unschedulable(t *testing.T) {
+	mkSrc := func(n int) string {
+		sc := strings.TrimSuffix(strings.Repeat("1,", n), ",")
+		return fmt.Sprintf("soc x\ntmono 10\nmodule A i 1 o 1 s %d t 1 sc %s\ntop A\n", n, sc)
+	}
+	r := CheckSOCSource("wide", mkSrc(coopt.MaxTAMWidth+1))
+	if !hasRule(r, "SOC013") {
+		t.Errorf("SOC013 did not fire at %d chains; got %v", coopt.MaxTAMWidth+1, rulesOf(r))
+	}
+	if r.HasErrors() {
+		t.Errorf("SOC013 fixture tripped error-severity rules: %v", rulesOf(r))
+	}
+	r = CheckSOCSource("at-ceiling", mkSrc(coopt.MaxTAMWidth))
+	if hasRule(r, "SOC013") {
+		t.Errorf("SOC013 fired at exactly %d chains", coopt.MaxTAMWidth)
 	}
 }
 

@@ -44,6 +44,7 @@ var Catalog = []Rule{
 	{"SOC010", Error, "module pattern count exceeds measured T_mono (violates Eq. 2; Benefit would panic)"},
 	{"SOC011", Info, "T_mono unmeasured: only the optimistic Eq. 3 bound applies"},
 	{"SOC012", Warning, "module tests zero data: patterns > 0 but no ports, scan cells or children"},
+	{"SOC013", Warning, "unschedulable core: more pre-stitched scan chains than the TAM width ceiling"},
 }
 
 var ruleByID = func() map[string]Rule {

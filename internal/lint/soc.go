@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/coopt"
 	"repro/internal/core"
 )
 
@@ -278,5 +279,13 @@ func checkModule(r *Report, pos Pos, name string, p core.Params, hasSC bool, cha
 		r.Add("SOC012", pos, name,
 			"module %q has t=%d but no ports, scan cells or children: each pattern tests zero data",
 			name, p.Patterns)
+	}
+	// Pre-stitched chains are hard: each needs its own TAM line, so a core
+	// with more chains than the widest TAM the scheduler accepts can never
+	// connect them all, whatever wrapper configuration is chosen.
+	if hasSC && len(chains) > coopt.MaxTAMWidth {
+		r.Add("SOC013", pos, name,
+			"module %q declares %d pre-stitched scan chains but the TAM ceiling is %d: no wrapper configuration can connect them all",
+			name, len(chains), coopt.MaxTAMWidth)
 	}
 }

@@ -75,6 +75,24 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	s.dispatch(w, r, wk, req.Async)
 }
 
+// --- POST /v1/schedule ---------------------------------------------------
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req scheduleRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	wk, err := scheduleWork(&req)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	req.apply(s, &wk)
+	wk.client = clientID(r)
+	wk.reqJSON = marshalReq(req)
+	s.dispatch(w, r, wk, req.Async)
+}
+
 // clientID buckets a request for fair dequeue: the X-API-Key header when
 // the client sends one, else the remote host. Anonymous loopback clients
 // all share one bucket, which is exactly the fairness unit we want there.

@@ -258,6 +258,11 @@ func New(cfg Config) *Server {
 		gBusy:      cfg.Col.Gauge("srv.workers.busy"),
 	}
 	s.qwaitAll = cfg.Col.Histogram("srv.queuewait.all", latencyBounds...)
+	// The schedule kind's histograms are first-class: pre-registered so
+	// /metricsz exposes them from the first scrape, not only after the
+	// first schedule job (runJob would lazily create them otherwise).
+	cfg.Col.Histogram("srv.queuewait.schedule", latencyBounds...)
+	cfg.Col.Histogram("srv.service.schedule", latencyBounds...)
 	s.cJournalErrs = cfg.Col.Counter("srv.journal.errors")
 	s.cJournalMalformed = cfg.Col.Counter("srv.journal.malformed")
 	s.cJournalSkipped = cfg.Col.Counter("srv.journal.skipped_version")
@@ -588,6 +593,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/atpg", s.handleATPG)
 	mux.HandleFunc("POST /v1/tdv", s.handleTDV)
 	mux.HandleFunc("POST /v1/lint", s.handleLint)
+	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

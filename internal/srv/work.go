@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/atpg"
 	"repro/internal/bench89"
+	"repro/internal/coopt"
 	"repro/internal/core"
 	"repro/internal/itc02"
 	"repro/internal/lint"
@@ -325,6 +326,70 @@ func lintWork(req *lintRequest) (work, error) {
 	}, nil
 }
 
+// --- schedule ------------------------------------------------------------
+
+// scheduleRequest runs the wrapper/TAM co-optimizer on an SOC profile:
+// either an inline .soc source or a built-in ITC'02 name, scheduled onto
+// a TAM of the given width, optionally power-budgeted and ordered by
+// precedence edges.
+type scheduleRequest struct {
+	submitCommon
+	SOC         string      `json:"soc"`
+	Builtin     string      `json:"builtin"`
+	TAM         int         `json:"tam"`
+	PowerBudget int64       `json:"power_budget"`
+	Precedence  [][2]string `json:"precedence"`
+}
+
+// scheduleWork validates a schedule request and builds its work unit. The
+// content address binds the canonical SOC text to the options fingerprint
+// (width, budget, precedence), so a changed knob never aliases a cached
+// schedule.
+func scheduleWork(req *scheduleRequest) (work, error) {
+	var (
+		soc *core.SOC
+		err error
+	)
+	switch {
+	case req.Builtin != "" && req.SOC != "":
+		return work{}, fmt.Errorf("give soc or builtin, not both")
+	case req.Builtin != "":
+		soc, err = itc02.SOCByName(req.Builtin)
+	case req.SOC != "":
+		soc, err = itc02.ParseSOC(strings.NewReader(req.SOC))
+	default:
+		return work{}, fmt.Errorf("need soc or builtin")
+	}
+	if err != nil {
+		return work{}, err
+	}
+	if req.TAM < 1 || req.TAM > coopt.MaxTAMWidth {
+		return work{}, fmt.Errorf("tam must be 1..%d, got %d", coopt.MaxTAMWidth, req.TAM)
+	}
+	opts := coopt.Options{
+		TAMWidth:    req.TAM,
+		PowerBudget: req.PowerBudget,
+		Precedence:  req.Precedence,
+	}
+	canon := itc02.SOCString(soc)
+	return work{
+		kind:    "schedule",
+		circuit: soc.Name,
+		key:     store.Key("schedule", []byte(canon), opts.OptionsHash()),
+		run: func(ctx context.Context, col *obs.Collector) ([]byte, error) {
+			span := col.StartSpan("schedule.optimize",
+				obs.F("soc", soc.Name), obs.F("tam", opts.TAMWidth))
+			sch, serr := coopt.Optimize(soc, opts)
+			if serr != nil {
+				span.End(obs.F("error", serr.Error()))
+				return nil, serr
+			}
+			span.End(obs.F("total_time", sch.TotalTime), obs.F("lb_ratio", sch.LBRatio))
+			return sch.Encode()
+		},
+	}, nil
+}
+
 // --- replay --------------------------------------------------------------
 
 // replayWork rebuilds a work unit from the request JSON the journal
@@ -354,6 +419,12 @@ func replayWork(s *Server, kind string, raw []byte) (work, error) {
 		var req lintRequest
 		if err = json.Unmarshal(raw, &req); err == nil {
 			wk, err = lintWork(&req)
+			env = req.submitCommon
+		}
+	case "schedule":
+		var req scheduleRequest
+		if err = json.Unmarshal(raw, &req); err == nil {
+			wk, err = scheduleWork(&req)
 			env = req.submitCommon
 		}
 	default:
